@@ -1,0 +1,69 @@
+// Command hbench runs the paper-reproduction experiment suite E1–E15 (see
+// EXPERIMENTS.md for the mapping to the paper's claims) and prints each
+// experiment as an aligned table.
+//
+// Usage:
+//
+//	hbench                # the full suite (minutes)
+//	hbench -quick         # reduced trial counts (seconds)
+//	hbench -run E7,E10    # a subset
+//	hbench -csv out/      # additionally write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hsp/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hbench", flag.ContinueOnError)
+	var (
+		quick = fs.Bool("quick", false, "reduced trial counts and sizes")
+		seed  = fs.Int64("seed", 7, "base random seed")
+		runID = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		csv   = fs.String("csv", "", "directory to write per-experiment CSV files")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := expt.Suite{Quick: *quick, Seed: *seed}
+	var tables []*expt.Table
+	if *runID == "" {
+		tables = s.All()
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			t, err := s.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			tables = append(tables, t)
+		}
+	}
+	for _, t := range tables {
+		t.Fprint(stdout)
+		if *csv != "" {
+			if err := os.MkdirAll(*csv, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csv, t.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Command hgen generates synthetic hierarchical scheduling instances as
+// JSON on stdout, for consumption by hsched.
+//
+// Usage:
+//
+//	hgen -topology smp-cmp -branching 2,2,2 -jobs 24 -seed 7 \
+//	     -min-work 10 -max-work 100 -overhead 0.3 -spread 0.5 > inst.json
+//
+// Topologies: flat, singletons, semi-partitioned, clustered, smp-cmp,
+// random. clustered uses -clusters/-cluster-size; smp-cmp uses -branching;
+// the rest use -machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"hsp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hgen", flag.ContinueOnError)
+	var (
+		topology    = fs.String("topology", "semi-partitioned", "flat | singletons | semi-partitioned | clustered | smp-cmp | random")
+		machines    = fs.Int("machines", 4, "machine count (flat/singletons/semi-partitioned/random)")
+		clusters    = fs.Int("clusters", 2, "cluster count (clustered)")
+		clusterSize = fs.Int("cluster-size", 2, "machines per cluster (clustered)")
+		branching   = fs.String("branching", "2,2,2", "hierarchy branching factors (smp-cmp)")
+		jobs        = fs.Int("jobs", 16, "job count")
+		seed        = fs.Int64("seed", 1, "random seed (deterministic)")
+		minWork     = fs.Int64("min-work", 5, "minimum base work")
+		maxWork     = fs.Int64("max-work", 50, "maximum base work")
+		overhead    = fs.Float64("overhead", 0.3, "migration overhead per hierarchy level")
+		spread      = fs.Float64("spread", 0.3, "machine speed heterogeneity in [1, 1+spread]")
+		pin         = fs.Float64("pin", 0, "fraction of jobs pinned to a random subtree")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := hsp.WorkloadConfig{
+		Machines: *machines, Clusters: *clusters, ClusterSize: *clusterSize,
+		Jobs: *jobs, Seed: *seed, MinWork: *minWork, MaxWork: *maxWork,
+		SpeedSpread: *spread, OverheadPerLevel: *overhead, PinFraction: *pin,
+	}
+	switch *topology {
+	case "flat":
+		cfg.Topology = hsp.TopoFlat
+	case "singletons":
+		cfg.Topology = hsp.TopoSingletons
+	case "semi-partitioned":
+		cfg.Topology = hsp.TopoSemiPartitioned
+	case "clustered":
+		cfg.Topology = hsp.TopoClustered
+	case "smp-cmp":
+		cfg.Topology = hsp.TopoSMPCMP
+		for _, part := range strings.Split(*branching, ",") {
+			b, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -branching %q: %w", *branching, err)
+			}
+			cfg.Branching = append(cfg.Branching, b)
+		}
+	case "random":
+		cfg.Topology = hsp.TopoRandomLaminar
+	default:
+		return fmt.Errorf("unknown topology %q", *topology)
+	}
+
+	in, err := hsp.GenerateWorkload(cfg)
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	return hsp.EncodeInstance(stdout, in)
+}

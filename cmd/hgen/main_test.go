@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hsp"
+)
+
+func TestRunGeneratesDecodableInstances(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "flat", "-machines", "3", "-jobs", "5"},
+		{"-topology", "singletons", "-machines", "3", "-jobs", "5"},
+		{"-topology", "semi-partitioned", "-machines", "4", "-jobs", "6"},
+		{"-topology", "clustered", "-clusters", "2", "-cluster-size", "3", "-jobs", "6"},
+		{"-topology", "smp-cmp", "-branching", "2,2", "-jobs", "6"},
+		{"-topology", "random", "-machines", "5", "-jobs", "6", "-pin", "0.5"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		in, err := hsp.DecodeInstance(&out)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", args, err)
+		}
+		if in.N() == 0 {
+			t.Fatalf("%v: empty instance", args)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	args := []string{"-topology", "smp-cmp", "-branching", "2,2", "-jobs", "6", "-seed", "9"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "nope"},
+		{"-topology", "smp-cmp", "-branching", "2,x"},
+		{"-topology", "flat", "-jobs", "0"},
+		{"-topology", "flat", "-min-work", "9", "-max-work", "2"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+func TestRunOutputIsJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-jobs", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\"machines\"") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}

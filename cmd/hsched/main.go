@@ -1,0 +1,161 @@
+// Command hsched solves a hierarchical scheduling instance (JSON from hgen
+// or handwritten) and prints the assignment, schedule and quality bounds.
+//
+// Usage:
+//
+//	hsched -algo 2approx  < inst.json     # Theorem V.2 (default)
+//	hsched -algo best     < inst.json     # 2approx + heuristic improvement
+//	hsched -algo exact    < inst.json     # branch and bound (small n)
+//	hsched -algo lp       < inst.json     # LP lower bound only
+//	hsched -gantt         < inst.json     # also draw the schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hsp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hsched: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hsched", flag.ContinueOnError)
+	var (
+		algo    = fs.String("algo", "2approx", "2approx | best | exact | lp")
+		input   = fs.String("input", "", "instance file (default stdin)")
+		gantt   = fs.Bool("gantt", false, "print an ASCII Gantt chart")
+		stats   = fs.Bool("stats", true, "print migration/preemption counts")
+		jsonOut = fs.String("json", "", "write the schedule as JSON to this file ('-' = stdout)")
+		svgOut  = fs.String("svg", "", "write the schedule as an SVG Gantt chart to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	in, err := hsp.DecodeInstance(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "instance: %d jobs, %d machines, %d admissible sets, %d levels\n",
+		in.N(), in.M(), in.Family.Len(), in.Family.Levels())
+
+	switch *algo {
+	case "lp":
+		lb, err := hsp.LowerBoundLP(in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "LP lower bound T* = %d (OPT ≥ T*)\n", lb)
+		return nil
+
+	case "exact":
+		a, opt, err := hsp.SolveExact(in, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "optimal makespan = %d\n", opt)
+		printAssignment(stdout, in, a)
+		s, err := hsp.BuildSchedule(in, a, opt)
+		if err != nil {
+			return fmt.Errorf("scheduling: %w", err)
+		}
+		if err := hsp.ValidateSchedule(in, a, s); err != nil {
+			return fmt.Errorf("schedule failed validation: %w", err)
+		}
+		report(stdout, s, *gantt, *stats)
+		if err := writeSVG(*svgOut, s); err != nil {
+			return err
+		}
+		return writeJSON(*jsonOut, stdout, s)
+
+	case "2approx", "best":
+		solve := hsp.Solve
+		if *algo == "best" {
+			solve = hsp.SolveBest
+		}
+		res, err := solve(in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "makespan = %d  (LP bound T* = %d; guarantee ≤ 2·T* = %d)\n",
+			res.Makespan, res.LPBound, 2*res.LPBound)
+		printAssignment(stdout, res.Instance, res.Assignment)
+		if err := hsp.ValidateSchedule(res.Instance, res.Assignment, res.Schedule); err != nil {
+			return fmt.Errorf("schedule failed validation: %w", err)
+		}
+		report(stdout, res.Schedule, *gantt, *stats)
+		if err := writeSVG(*svgOut, res.Schedule); err != nil {
+			return err
+		}
+		return writeJSON(*jsonOut, stdout, res.Schedule)
+	}
+	return fmt.Errorf("unknown -algo %q", *algo)
+}
+
+// writeSVG renders the schedule to the named file ("" = skip).
+func writeSVG(dest string, s *hsp.Schedule) error {
+	if dest == "" {
+		return nil
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.WriteSVG(f)
+}
+
+// writeJSON emits the schedule to the named file, stdout for "-", or not
+// at all for the empty name.
+func writeJSON(dest string, stdout io.Writer, s *hsp.Schedule) error {
+	switch dest {
+	case "":
+		return nil
+	case "-":
+		return hsp.EncodeSchedule(stdout, s)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return hsp.EncodeSchedule(f, s)
+}
+
+func printAssignment(w io.Writer, in *hsp.Instance, a hsp.Assignment) {
+	for j, s := range a {
+		fmt.Fprintf(w, "  job %-3d -> mask %v (p = %d)\n", j, in.Family.Machines(s), in.Proc[j][s])
+	}
+}
+
+func report(w io.Writer, s *hsp.Schedule, gantt, stats bool) {
+	if stats {
+		st := s.CyclicStats()
+		fmt.Fprintf(w, "migrations = %d, preemptions = %d (cyclic counting)\n",
+			st.Migrations, st.Preemptions)
+	}
+	if gantt {
+		step := s.Makespan() / 72
+		if step < 1 {
+			step = 1
+		}
+		fmt.Fprint(w, s.Gantt(step))
+	}
+}

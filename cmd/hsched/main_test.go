@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"hsp"
+)
+
+// exampleJSON returns Example II.1 in the tool's wire format.
+func exampleJSON(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := hsp.EncodeInstance(&buf, hsp.ExampleII1()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRunExact(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-algo", "exact", "-gantt"}, strings.NewReader(exampleJSON(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "optimal makespan = 2") {
+		t.Fatalf("missing optimum:\n%s", got)
+	}
+	if !strings.Contains(got, "migrations") || !strings.Contains(got, "m0") {
+		t.Fatalf("missing stats or gantt:\n%s", got)
+	}
+}
+
+func TestRunTwoApproxAndBest(t *testing.T) {
+	for _, algo := range []string{"2approx", "best"} {
+		var out bytes.Buffer
+		err := run([]string{"-algo", algo}, strings.NewReader(exampleJSON(t)), &out)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), "LP bound T* = 2") {
+			t.Fatalf("%s: missing LP bound:\n%s", algo, out.String())
+		}
+	}
+}
+
+func TestRunLP(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "lp"}, strings.NewReader(exampleJSON(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "T* = 2") {
+		t.Fatalf("missing bound:\n%s", out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-algo", "exact", "-json", "-", "-stats=false"},
+		strings.NewReader(exampleJSON(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JSON document follows the text report; cut at the first brace.
+	got := out.String()
+	idx := strings.Index(got, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON in output:\n%s", got)
+	}
+	s, err := hsp.DecodeSchedule(strings.NewReader(got[idx:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 2 {
+		t.Fatalf("decoded makespan = %d, want 2", s.Makespan())
+	}
+}
+
+func TestRunSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/sched.svg"
+	var out bytes.Buffer
+	err := run([]string{"-algo", "exact", "-svg", path},
+		strings.NewReader(exampleJSON(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "</svg>") {
+		t.Fatalf("not an SVG:\n%s", data)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("garbage"), &out); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := run([]string{"-algo", "wat"}, strings.NewReader(exampleJSON(t)), &out); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+	if err := run([]string{"-input", "/no/such/file"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Package approx implements the paper's approximation pipelines: the
+// polynomial-time 2-approximation for hierarchical scheduling (Theorem
+// V.2) and the 8-approximation for general, non-laminar affinity masks
+// sketched in Section II.
+//
+// The 2-approximation follows the proof of Theorem V.2 exactly:
+//
+//  1. binary-search the minimal T* with a feasible LP relaxation of
+//     (IP-3) — a lower bound on the optimal makespan;
+//  2. push the fractional solution down to the singleton sets
+//     (Lemma V.1), which certifies that the unrelated-machines relaxation
+//     with p'_ij = P_j({i}) is feasible at T*;
+//  3. round a vertex of that unrelated relaxation with the classic
+//     Lenstra–Shmoys–Tardos algorithm, yielding an integral assignment
+//     with makespan at most 2·T* ≤ 2·OPT;
+//  4. realize the assignment as a valid schedule with the hierarchical
+//     scheduler of Section IV.
+package approx
+
+import (
+	"fmt"
+
+	"hsp/internal/hier"
+	"hsp/internal/model"
+	"hsp/internal/relax"
+	"hsp/internal/sched"
+	"hsp/internal/unrelated"
+)
+
+// Result is the outcome of the 2-approximation.
+type Result struct {
+	// Instance is the solved instance: the input extended with any missing
+	// singleton sets (Section V's preprocessing). Assignment and Schedule
+	// refer to this instance's family.
+	Instance   *model.Instance
+	Assignment model.Assignment
+	LPBound    int64 // T*: minimal T with feasible (IP-3) relaxation, ≤ OPT
+	Makespan   int64 // achieved makespan, ≤ 2·T*
+	Schedule   *sched.Schedule
+}
+
+// TwoApprox runs the Theorem V.2 pipeline on a hierarchical instance.
+func TwoApprox(in *model.Instance) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("approx: %w", err)
+	}
+	ins := in.WithSingletons()
+	tStar, frac, err := relax.MinFeasibleT(ins)
+	if err != nil {
+		return nil, fmt.Errorf("approx: %w", err)
+	}
+
+	// Lemma V.1: a singleton-supported feasible solution exists at T*, so
+	// the unrelated relaxation below is feasible at T*. The push-down is
+	// executed to certify that claim (and is cross-checked in tests); the
+	// rounding itself re-solves the unrelated LP to obtain a vertex.
+	down, err := relax.PushDown(ins, tStar, frac)
+	if err != nil {
+		return nil, fmt.Errorf("approx: %w", err)
+	}
+	if !down.SingletonOnly(ins, 1e-6) {
+		return nil, fmt.Errorf("approx: push-down left mass on non-singleton sets")
+	}
+
+	u := singletonProjection(ins)
+	ok, x, err := unrelated.FeasibleLP(u, tStar)
+	if err != nil {
+		return nil, fmt.Errorf("approx: unrelated relaxation: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("approx: unrelated relaxation infeasible at T*=%d, contradicting Lemma V.1", tStar)
+	}
+	massign, err := unrelated.RoundVertex(u, tStar, x)
+	if err != nil {
+		return nil, fmt.Errorf("approx: %w", err)
+	}
+
+	a := make(model.Assignment, ins.N())
+	for j, i := range massign {
+		a[j] = ins.Family.Singleton(i)
+	}
+	mk := u.Makespan(massign)
+	s, err := hier.Schedule(ins, a, mk)
+	if err != nil {
+		return nil, fmt.Errorf("approx: scheduling the rounded assignment: %w", err)
+	}
+	return &Result{
+		Instance:   ins,
+		Assignment: a,
+		LPBound:    tStar,
+		Makespan:   mk,
+		Schedule:   s,
+	}, nil
+}
+
+// singletonProjection builds the unrelated instance I_u with
+// p'_ij = P_j({i}); the instance must contain all singletons.
+func singletonProjection(in *model.Instance) *unrelated.Instance {
+	m := in.M()
+	p := make([][]int64, in.N())
+	for j := range p {
+		row := make([]int64, m)
+		for i := 0; i < m; i++ {
+			row[i] = in.Proc[j][in.Family.Singleton(i)]
+		}
+		p[j] = row
+	}
+	return unrelated.FromProjection(p)
+}
+
+// GeneralResult is the outcome of the 8-approximation on general masks.
+type GeneralResult struct {
+	MachineAssign []int // job → machine
+	LPBound       int64 // unrelated nonpreemptive LP bound (≤ 4·OPT by [15])
+	Makespan      int64 // ≤ 2·LPBound ≤ 8·OPT
+	Schedule      *sched.Schedule
+}
+
+// EightApprox implements the Section II algorithm for arbitrary admissible
+// families: project to unrelated machines by taking, for each machine, the
+// cheapest admissible set containing it; solve that nonpreemptively with
+// the 2-approximate LST rounding. The optimal preemptive makespan of the
+// projection lower-bounds the original optimum, and nonpreemptive vs
+// preemptive optima differ by at most a factor 4 [Lin–Vitter], giving a
+// factor 8 overall.
+func EightApprox(g *model.GeneralInstance) (*GeneralResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("approx: %w", err)
+	}
+	u := unrelated.FromProjection(g.UnrelatedProjection())
+	assign, lpT, err := unrelated.LST(u)
+	if err != nil {
+		return nil, fmt.Errorf("approx: %w", err)
+	}
+	return &GeneralResult{
+		MachineAssign: assign,
+		LPBound:       lpT,
+		Makespan:      u.Makespan(assign),
+		Schedule:      unrelated.ScheduleAssignment(u, assign),
+	}, nil
+}

@@ -1,0 +1,202 @@
+// Package baselines implements the greedy heuristics a practitioner would
+// reach for before the paper's LP machinery: first-fit-decreasing
+// partitioning (the classic semi-partitioned literature baseline),
+// a cheapest-set greedy over the full hierarchical family, and single-job
+// local search. They exist to quantify, in experiment E13, what Theorem
+// V.2's LP-based rounding buys; every heuristic returns an assignment
+// whose makespan Algorithms 2+3 realize exactly (model.MinMakespan).
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"hsp/internal/model"
+)
+
+// Result is a heuristic outcome: the assignment and the exact makespan the
+// hierarchical scheduler achieves for it.
+type Result struct {
+	Assignment model.Assignment
+	Makespan   int64
+}
+
+// PartitionedLPT is longest-processing-time-first list scheduling onto
+// singleton masks: jobs in decreasing order of their cheapest singleton
+// time, each placed on the machine minimizing its completion time. The
+// instance must contain every singleton (use Instance.WithSingletons).
+func PartitionedLPT(in *model.Instance) (*Result, error) {
+	f := in.Family
+	if !f.HasAllSingletons() {
+		return nil, fmt.Errorf("baselines: instance lacks singleton sets")
+	}
+	n, m := in.N(), in.M()
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	key := func(j int) int64 {
+		best := model.Infinity
+		for i := 0; i < m; i++ {
+			if p := in.Proc[j][f.Singleton(i)]; p < best {
+				best = p
+			}
+		}
+		return best
+	}
+	sort.SliceStable(order, func(a, b int) bool { return key(order[a]) > key(order[b]) })
+
+	load := make([]int64, m)
+	a := make(model.Assignment, n)
+	for _, j := range order {
+		best, bestLoad := -1, model.Infinity
+		for i := 0; i < m; i++ {
+			p := in.Proc[j][f.Singleton(i)]
+			if p >= model.Infinity {
+				continue
+			}
+			if l := load[i] + p; l < bestLoad {
+				best, bestLoad = i, l
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("baselines: job %d fits no singleton", j)
+		}
+		a[j] = f.Singleton(best)
+		load[best] += in.Proc[j][f.Singleton(best)]
+	}
+	return &Result{Assignment: a, Makespan: a.MinMakespan(in)}, nil
+}
+
+// GreedyCheapestSet assigns jobs in decreasing order of their cheapest
+// processing time; each job takes the admissible set that minimizes the
+// resulting lower-bound makespan of the partial assignment (ties: the
+// cheaper, then the LARGER set — equal price buys scheduling freedom).
+// It can choose any mask in the hierarchy, including migratory ones.
+func GreedyCheapestSet(in *model.Instance) (*Result, error) {
+	f := in.Family
+	n := in.N()
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		va, _ := in.MinProc(order[a])
+		vb, _ := in.MinProc(order[b])
+		return va > vb
+	})
+
+	// below[s] = committed volume in subtree(s); bound(j, s) evaluates the
+	// (2b)+(2c) lower bound after hypothetically adding job j to set s.
+	below := make([]int64, f.Len())
+	var maxProcChosen int64
+	a := make(model.Assignment, n)
+	for j := range a {
+		a[j] = -1
+	}
+	currentBound := func(extraSet int, extraP int64) int64 {
+		b := maxProcChosen
+		if extraP > b {
+			b = extraP
+		}
+		for s := 0; s < f.Len(); s++ {
+			vol := below[s]
+			if extraSet >= 0 && inSubtreeOf(f, extraSet, s) {
+				vol += extraP
+			}
+			if need := ceilDiv(vol, int64(f.Size(s))); need > b {
+				b = need
+			}
+		}
+		return b
+	}
+	for _, j := range order {
+		bestSet := -1
+		var bestBound, bestP int64
+		for s := 0; s < f.Len(); s++ {
+			p := in.Proc[j][s]
+			if p >= model.Infinity {
+				continue
+			}
+			bound := currentBound(s, p)
+			better := bestSet < 0 || bound < bestBound ||
+				(bound == bestBound && (p < bestP || (p == bestP && f.Size(s) > f.Size(bestSet))))
+			if better {
+				bestSet, bestBound, bestP = s, bound, p
+			}
+		}
+		if bestSet < 0 {
+			return nil, fmt.Errorf("baselines: job %d has no admissible set", j)
+		}
+		a[j] = bestSet
+		for _, anc := range f.Chain(bestSet) {
+			below[anc] += bestP
+		}
+		if bestP > maxProcChosen {
+			maxProcChosen = bestP
+		}
+	}
+	return &Result{Assignment: a, Makespan: a.MinMakespan(in)}, nil
+}
+
+// LocalSearch improves an assignment by single-job moves: while some job
+// can switch to another admissible set and strictly reduce the makespan
+// bound, perform the best such move. maxRounds caps the loop (0 = 4n).
+// It returns the improved assignment and the number of improving moves.
+func LocalSearch(in *model.Instance, start model.Assignment, maxRounds int) (*Result, int) {
+	n := in.N()
+	f := in.Family
+	if maxRounds <= 0 {
+		maxRounds = 4 * n
+	}
+	a := append(model.Assignment(nil), start...)
+	cur := a.MinMakespan(in)
+	moves := 0
+	for round := 0; round < maxRounds; round++ {
+		bestJ, bestS := -1, -1
+		bestMk := cur
+		for j := 0; j < n; j++ {
+			old := a[j]
+			for s := 0; s < f.Len(); s++ {
+				if s == old || in.Proc[j][s] >= model.Infinity {
+					continue
+				}
+				a[j] = s
+				if mk := a.MinMakespan(in); mk < bestMk {
+					bestMk, bestJ, bestS = mk, j, s
+				}
+			}
+			a[j] = old
+		}
+		if bestJ < 0 {
+			break
+		}
+		a[bestJ] = bestS
+		cur = bestMk
+		moves++
+	}
+	return &Result{Assignment: a, Makespan: cur}, moves
+}
+
+// GreedyWithLocalSearch composes the cheapest-set greedy with local search.
+func GreedyWithLocalSearch(in *model.Instance) (*Result, error) {
+	g, err := GreedyCheapestSet(in)
+	if err != nil {
+		return nil, err
+	}
+	res, _ := LocalSearch(in, g.Assignment, 0)
+	return res, nil
+}
+
+// inSubtreeOf reports whether set s lies in the subtree rooted at anc,
+// i.e. anc is on s's ancestor chain.
+func inSubtreeOf(f interface{ Chain(int) []int }, s, anc int) bool {
+	for _, c := range f.Chain(s) {
+		if c == anc {
+			return true
+		}
+	}
+	return false
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

@@ -1,0 +1,244 @@
+// Package exact computes optimal solutions of the hierarchical scheduling
+// problem on small instances by branch and bound: an outer binary search on
+// the makespan T (the LP relaxation bound of Section V seeds the lower
+// end), and an inner depth-first search over job → affinity-mask
+// assignments pruned by the subtree volume constraints (2b) and by
+// lower bounds on the volume still forced into each subtree. Used by the
+// experiments to measure the 2-approximation's true ratio; exponential in
+// the worst case by design (Proposition II.1: the problem is NP-hard).
+package exact
+
+import (
+	"fmt"
+	"sort"
+
+	"hsp/internal/laminar"
+	"hsp/internal/model"
+	"hsp/internal/relax"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes caps the number of DFS nodes per feasibility probe;
+	// 0 means the default of 5e6.
+	MaxNodes int
+}
+
+func (o Options) maxNodes() int {
+	if o.MaxNodes <= 0 {
+		return 5_000_000
+	}
+	return o.MaxNodes
+}
+
+// Solve returns an optimal assignment and the optimal makespan.
+func Solve(in *model.Instance, opts Options) (model.Assignment, int64, error) {
+	lo, _, err := relax.MinFeasibleT(in)
+	if err != nil {
+		return nil, 0, fmt.Errorf("exact: %w", err)
+	}
+	hi := in.TrivialUpperBound()
+	if hi < lo {
+		hi = lo
+	}
+	var best model.Assignment
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		a, ok, err := FeasibleAssignment(in, mid, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ok {
+			hi, best = mid, a
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		a, ok, err := FeasibleAssignment(in, lo, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			return nil, 0, fmt.Errorf("exact: infeasible at upper bound T=%d", lo)
+		}
+		best = a
+	}
+	return best, lo, nil
+}
+
+// FeasibleAssignment searches for an assignment satisfying (2a)-(2c) at
+// makespan T. The boolean reports success; an error reports only node-cap
+// exhaustion.
+func FeasibleAssignment(in *model.Instance, T int64, opts Options) (model.Assignment, bool, error) {
+	f := in.Family
+	n := in.N()
+	nsets := f.Len()
+
+	// Candidate sets per job under the (2c) pruning, cheapest first.
+	cands := make([][]int, n)
+	for j := 0; j < n; j++ {
+		for s := 0; s < nsets; s++ {
+			if in.Proc[j][s] <= T {
+				cands[j] = append(cands[j], s)
+			}
+		}
+		if len(cands[j]) == 0 {
+			return nil, false, nil
+		}
+		j := j
+		sort.Slice(cands[j], func(a, b int) bool {
+			return in.Proc[j][cands[j][a]] < in.Proc[j][cands[j][b]]
+		})
+	}
+
+	// ceiling[j]: the minimal set whose subtree contains every candidate of
+	// j, i.e. the subtree j is forced into (-1 if candidates span roots).
+	ceiling := make([]int, n)
+	for j := 0; j < n; j++ {
+		ceiling[j] = commonAncestor(f, cands[j])
+	}
+
+	// forcedMin[s]: total of min processing times of unassigned jobs whose
+	// ceiling lies in subtree(s) — a lower bound on future volume in s.
+	forcedMin := make([]int64, nsets)
+	minP := make([]int64, n)
+	for j := 0; j < n; j++ {
+		minP[j] = in.Proc[j][cands[j][0]]
+		if c := ceiling[j]; c >= 0 {
+			for _, anc := range f.Chain(c) {
+				forcedMin[anc] += minP[j]
+			}
+		}
+	}
+
+	capOf := make([]int64, nsets)
+	for s := 0; s < nsets; s++ {
+		capOf[s] = int64(f.Size(s)) * T
+	}
+	used := make([]int64, nsets) // committed volume per subtree
+
+	// Most-constrained-first ordering: fewest candidates, then largest
+	// minimum processing time.
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := order[a], order[b]
+		if len(cands[ja]) != len(cands[jb]) {
+			return len(cands[ja]) < len(cands[jb])
+		}
+		return minP[ja] > minP[jb]
+	})
+
+	assign := make(model.Assignment, n)
+	for j := range assign {
+		assign[j] = -1
+	}
+	nodes := 0
+	limit := opts.maxNodes()
+
+	var dfs func(k int) (bool, error)
+	dfs = func(k int) (bool, error) {
+		nodes++
+		if nodes > limit {
+			return false, fmt.Errorf("exact: node cap %d exceeded at T=%d", limit, T)
+		}
+		if k == n {
+			return true, nil
+		}
+		j := order[k]
+		for _, s := range cands[j] {
+			p := in.Proc[j][s]
+			ok := true
+			// (2b) along the ancestor chain of s, including the forced
+			// future volume of each subtree.
+			for _, anc := range f.Chain(s) {
+				add := p
+				if c := ceiling[j]; c >= 0 && inChain(f, c, anc) {
+					// j's minimum was already counted in forcedMin[anc];
+					// only the excess over the minimum is new.
+					add = p - minP[j]
+				}
+				if used[anc]+forcedMin[anc]+add > capOf[anc] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Commit.
+			for _, anc := range f.Chain(s) {
+				used[anc] += p
+			}
+			if c := ceiling[j]; c >= 0 {
+				for _, anc := range f.Chain(c) {
+					forcedMin[anc] -= minP[j]
+				}
+			}
+			assign[j] = s
+			done, err := dfs(k + 1)
+			if err != nil {
+				return false, err
+			}
+			if done {
+				return true, nil
+			}
+			// Undo.
+			assign[j] = -1
+			for _, anc := range f.Chain(s) {
+				used[anc] -= p
+			}
+			if c := ceiling[j]; c >= 0 {
+				for _, anc := range f.Chain(c) {
+					forcedMin[anc] += minP[j]
+				}
+			}
+		}
+		return false, nil
+	}
+	ok, err := dfs(0)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return assign, true, nil
+}
+
+// commonAncestor returns the minimal family set whose subtree contains all
+// the given sets, or -1 when they span different roots.
+func commonAncestor(f *laminar.Family, sets []int) int {
+	if len(sets) == 0 {
+		return -1
+	}
+	// Count how often each ancestor appears across the chains; walking the
+	// first chain bottom-up, the first ancestor present in all chains is
+	// the minimal common one.
+	count := map[int]int{}
+	for _, s := range sets {
+		for _, anc := range f.Chain(s) {
+			count[anc]++
+		}
+	}
+	for _, anc := range f.Chain(sets[0]) {
+		if count[anc] == len(sets) {
+			return anc
+		}
+	}
+	return -1
+}
+
+// inChain reports whether anc lies on the ancestor chain of set c
+// (c itself included), i.e. anc ⊇ c.
+func inChain(f *laminar.Family, c, anc int) bool {
+	for _, a := range f.Chain(c) {
+		if a == anc {
+			return true
+		}
+	}
+	return false
+}

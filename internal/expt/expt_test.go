@@ -1,0 +1,278 @@
+package expt
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickSuite is the configuration used throughout these tests.
+func quickSuite() Suite { return Suite{Quick: true, Seed: 7} }
+
+func TestE1ReproducesPaperNumbers(t *testing.T) {
+	tab := quickSuite().E1()
+	got := map[string]string{}
+	for _, r := range tab.Rows {
+		got[r[0]] = r[1]
+	}
+	if got["OPT(I) hierarchical"] != "2" {
+		t.Fatalf("OPT(I) = %s, want 2", got["OPT(I) hierarchical"])
+	}
+	if got["OPT(I_u) unrelated"] != "3" {
+		t.Fatalf("OPT(I_u) = %s, want 3", got["OPT(I_u) unrelated"])
+	}
+	if got["LP bound T*"] != "2" {
+		t.Fatalf("T* = %s, want 2", got["LP bound T*"])
+	}
+	if got["Algorithm 1 makespan"] != "2" {
+		t.Fatalf("Algorithm 1 makespan = %s, want 2", got["Algorithm 1 makespan"])
+	}
+}
+
+func TestE2AllValid(t *testing.T) {
+	tab := quickSuite().E2()
+	for _, r := range tab.Rows {
+		if r[3] != r[2] || r[4] != r[2] {
+			t.Fatalf("row %v: not all schedules valid/tight", r)
+		}
+	}
+}
+
+func TestE3WithinBounds(t *testing.T) {
+	tab := quickSuite().E3()
+	for _, r := range tab.Rows {
+		mig, _ := strconv.Atoi(r[2])
+		bound, _ := strconv.Atoi(r[3])
+		ev, _ := strconv.Atoi(r[4])
+		bound2, _ := strconv.Atoi(r[5])
+		wall, _ := strconv.Atoi(r[6])
+		if mig > bound || ev > bound2 || wall > bound2 {
+			t.Fatalf("row %v violates Proposition III.2", r)
+		}
+	}
+}
+
+func TestE4AllValid(t *testing.T) {
+	tab := quickSuite().E4()
+	for _, r := range tab.Rows {
+		if r[4] != r[3] {
+			t.Fatalf("row %v: some schedules invalid", r)
+		}
+	}
+}
+
+func TestE5AllPreserved(t *testing.T) {
+	tab := quickSuite().E5()
+	for _, r := range tab.Rows {
+		if r[2] != r[1] || r[3] != r[1] {
+			t.Fatalf("row %v: push-down failed on some trials", r)
+		}
+	}
+}
+
+func TestE6RatiosWithinTwo(t *testing.T) {
+	tab := quickSuite().E6()
+	if len(tab.Rows) == 0 {
+		t.Fatal("E6 produced no rows")
+	}
+	for _, r := range tab.Rows {
+		max, err := strconv.ParseFloat(r[4], 64)
+		if err != nil {
+			t.Fatalf("bad max ratio in %v", r)
+		}
+		if max > 2.0000001 {
+			t.Fatalf("row %v: max ALG/OPT ratio %v exceeds 2", r, max)
+		}
+	}
+}
+
+func TestE7GapSeries(t *testing.T) {
+	tab := quickSuite().E7()
+	if len(tab.Rows) < 3 {
+		t.Fatalf("E7 too short: %d rows", len(tab.Rows))
+	}
+	prev := 0.0
+	for _, r := range tab.Rows {
+		gap, err := strconv.ParseFloat(r[4], 64)
+		if err != nil {
+			t.Fatalf("bad gap in %v", r)
+		}
+		want, _ := strconv.ParseFloat(r[5], 64)
+		if gap < want-1e-6 || gap > want+1e-6 {
+			t.Fatalf("row %v: gap %v != paper %v", r, gap, want)
+		}
+		if gap+1e-9 < prev {
+			t.Fatalf("gap series not nondecreasing at %v", r)
+		}
+		if gap >= 2 {
+			t.Fatalf("gap %v should stay below 2", gap)
+		}
+		prev = gap
+	}
+}
+
+func TestE8WithinThree(t *testing.T) {
+	tab := quickSuite().E8()
+	for _, r := range tab.Rows {
+		load, _ := strconv.ParseFloat(r[3], 64)
+		mem, _ := strconv.ParseFloat(r[4], 64)
+		if load > 3.0000001 || mem > 3.0000001 {
+			t.Fatalf("row %v exceeds Theorem VI.1's factor 3", r)
+		}
+	}
+}
+
+func TestE9WithinSigma(t *testing.T) {
+	tab := quickSuite().E9()
+	for _, r := range tab.Rows {
+		sigma, _ := strconv.ParseFloat(r[1], 64)
+		load, _ := strconv.ParseFloat(r[3], 64)
+		mem, _ := strconv.ParseFloat(r[4], 64)
+		if load > sigma+1e-6 || mem > sigma+1e-6 {
+			t.Fatalf("row %v exceeds σ", r)
+		}
+	}
+}
+
+func TestE10ShapeHolds(t *testing.T) {
+	tab := quickSuite().E10()
+	if len(tab.Rows) < 2 {
+		t.Fatal("E10 too short")
+	}
+	parse := func(s string) (int64, bool) {
+		s = strings.TrimPrefix(s, "≤")
+		v, err := strconv.ParseInt(s, 10, 64)
+		return v, err == nil
+	}
+	for _, r := range tab.Rows {
+		hier, ok := parse(r[5])
+		if !ok {
+			continue
+		}
+		// Hierarchical never loses to any restricted regime: its family is
+		// a superset, and upper-bound fallbacks inherit smaller regimes.
+		for col := 1; col <= 4; col++ {
+			if v, ok := parse(r[col]); ok && hier > v {
+				t.Fatalf("row %v: hierarchical %d beaten by column %d = %d", r, hier, col, v)
+			}
+		}
+	}
+}
+
+func TestE11WithinTwo(t *testing.T) {
+	tab := quickSuite().E11()
+	for _, r := range tab.Rows {
+		max, _ := strconv.ParseFloat(r[5], 64)
+		if max > 2.0000001 {
+			t.Fatalf("row %v: LST ratio above 2", r)
+		}
+	}
+}
+
+func TestE12Runs(t *testing.T) {
+	tab := quickSuite().E12()
+	if len(tab.Rows) == 0 {
+		t.Fatal("E12 produced no rows")
+	}
+	for _, r := range tab.Rows {
+		if strings.HasPrefix(r[5], "error") {
+			t.Fatalf("row %v errored", r)
+		}
+	}
+}
+
+func TestE13HeuristicsNeverBeatOptimality(t *testing.T) {
+	tab := quickSuite().E13()
+	if len(tab.Rows) == 0 {
+		t.Fatal("E13 empty")
+	}
+	for _, r := range tab.Rows {
+		// Every ratio column is ≥ 1 (nothing beats the LP lower bound) and
+		// the certified algorithm stays within its factor-2 guarantee.
+		for col := 3; col <= 6; col++ {
+			v, err := strconv.ParseFloat(r[col], 64)
+			if err != nil {
+				t.Fatalf("bad cell in %v", r)
+			}
+			if v < 1-1e-9 {
+				t.Fatalf("row %v: ratio %v below 1 — LP bound violated", r, v)
+			}
+		}
+		alg, _ := strconv.ParseFloat(r[3], 64)
+		if alg > 2.0000001 {
+			t.Fatalf("row %v: 2-approx ratio %v above 2", r, alg)
+		}
+	}
+}
+
+func TestE14PinningSweep(t *testing.T) {
+	tab := quickSuite().E14()
+	if len(tab.Rows) < 2 {
+		t.Fatal("E14 too short")
+	}
+	for _, r := range tab.Rows {
+		max, _ := strconv.ParseFloat(r[5], 64)
+		if max > 2.0000001 {
+			t.Fatalf("row %v: ratio above 2", r)
+		}
+	}
+	// Full pinning must raise the LP bound versus no pinning.
+	first, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	last, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][2], 64)
+	if last < first {
+		t.Fatalf("pinning lowered the average LP bound: %v -> %v", first, last)
+	}
+}
+
+func TestE15SimulationCoverage(t *testing.T) {
+	tab := quickSuite().E15()
+	if len(tab.Rows) < 2 {
+		t.Fatal("E15 too short")
+	}
+	frac := func(cell string) float64 {
+		var a, b int
+		if _, err := fmt.Sscanf(cell, "%d/%d", &a, &b); err != nil || b == 0 {
+			t.Fatalf("bad coverage cell %q", cell)
+		}
+		return float64(a) / float64(b)
+	}
+	first := frac(tab.Rows[0][6])
+	last := frac(tab.Rows[len(tab.Rows)-1][6])
+	if last < first {
+		t.Fatalf("coverage should not drop as overhead rises: %v -> %v", first, last)
+	}
+	for _, r := range tab.Rows {
+		u, _ := strconv.ParseFloat(r[7], 64)
+		if u <= 0 || u > 1 {
+			t.Fatalf("utilization %v out of range in %v", u, r)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow(1, 2.5)
+	tab.Notes = append(tab.Notes, "note")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "2.500") || !strings.Contains(out, "note") {
+		t.Fatalf("rendering missing pieces:\n%s", out)
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "a,b") || !strings.Contains(csv, "1,2.500") {
+		t.Fatalf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestByID(t *testing.T) {
+	s := quickSuite()
+	if _, err := s.ByID("E7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ByID("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

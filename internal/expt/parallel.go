@@ -1,0 +1,37 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachTrial runs fn(k) for k = 0..n-1 on a bounded worker pool
+// (Effective Go's semaphore idiom). Determinism contract: callers draw all
+// randomness (seeds, instances) BEFORE calling, indexed by k, and fn
+// writes only to its own slot of a results slice; aggregation happens
+// after the pool drains. The experiments that dominate wall time (exact
+// branch-and-bound per trial) parallelize across trials this way.
+func forEachTrial(n int, fn func(k int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(k)
+		}(k)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,144 @@
+package expt
+
+import (
+	"math/rand"
+	"strings"
+
+	"hsp/internal/laminar"
+	"hsp/internal/model"
+	"hsp/internal/workload"
+)
+
+// randomSemiPartFeasible builds a random semi-partitioned instance, a
+// random assignment, and the assignment's minimal feasible makespan.
+func randomSemiPartFeasible(rng *rand.Rand, m, n int) (*model.Instance, model.Assignment, int64) {
+	f := laminar.SemiPartitioned(m)
+	in := model.New(f)
+	root := f.Roots()[0]
+	a := make(model.Assignment, n)
+	for j := 0; j < n; j++ {
+		base := int64(1 + rng.Intn(40))
+		proc := make([]int64, f.Len())
+		for s := range proc {
+			if s == root {
+				proc[s] = base + int64(rng.Intn(5))
+			} else {
+				proc[s] = base
+			}
+		}
+		in.AddJob(proc)
+		if rng.Intn(3) == 0 {
+			a[j] = root
+		} else {
+			a[j] = f.Singleton(rng.Intn(m))
+		}
+	}
+	return in, a, a.MinMakespan(in)
+}
+
+// randomLaminarFamily builds a random laminar family with all singletons.
+func randomLaminarFamily(rng *rand.Rand, m int) *laminar.Family {
+	var sets [][]int
+	var rec func(machines []int)
+	rec = func(machines []int) {
+		sets = append(sets, append([]int(nil), machines...))
+		if len(machines) <= 1 {
+			return
+		}
+		k := 1 + rng.Intn(len(machines)-1)
+		rec(machines[:k])
+		rec(machines[k:])
+	}
+	all := make([]int, m)
+	for i := range all {
+		all[i] = i
+	}
+	rec(all)
+	return laminar.MustNew(m, sets)
+}
+
+// randomAssignmentOn builds a monotone instance over the family, a random
+// assignment and its minimal feasible T.
+func randomAssignmentOn(rng *rand.Rand, f *laminar.Family, n int) (*model.Instance, model.Assignment, int64) {
+	in := instanceOn(rng, f, n, 0)
+	a := make(model.Assignment, n)
+	for j := range a {
+		a[j] = rng.Intn(f.Len())
+	}
+	return in, a, a.MinMakespan(in)
+}
+
+// instanceOn builds a monotone instance with per-level overhead step.
+func instanceOn(rng *rand.Rand, f *laminar.Family, n int, _ float64) *model.Instance {
+	in := model.New(f)
+	maxLevel := f.Levels()
+	for j := 0; j < n; j++ {
+		base := int64(2 + rng.Intn(30))
+		step := int64(rng.Intn(4))
+		proc := make([]int64, f.Len())
+		for s := range proc {
+			proc[s] = base + step*int64(maxLevel-f.Level(s))
+		}
+		in.AddJob(proc)
+	}
+	return in
+}
+
+// generated draws a workload-generator instance on the given topology with
+// moderate defaults.
+func generated(rng *rand.Rand, topo workload.Topology, overhead, pin float64) *model.Instance {
+	return generatedN(rng, topo, 4+rng.Intn(10), overhead, pin)
+}
+
+// generatedN fixes the job count.
+func generatedN(rng *rand.Rand, topo workload.Topology, n int, overhead, pin float64) *model.Instance {
+	cfg := workload.Config{
+		Topology: topo,
+		Machines: 4 + rng.Intn(5),
+		Clusters: 2, ClusterSize: 3,
+		Branching:        []int{2, 2, 2},
+		Jobs:             n,
+		Seed:             rng.Int63(),
+		MinWork:          5,
+		MaxWork:          50,
+		SpeedSpread:      0.4,
+		OverheadPerLevel: overhead,
+		PinFraction:      pin,
+	}
+	in, err := workload.Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// generatedMN fixes machines and jobs for semi-partitioned workloads.
+func generatedMN(rng *rand.Rand, topo workload.Topology, m, n int, overhead, pin float64) *model.Instance {
+	cfg := workload.Config{
+		Topology:         topo,
+		Machines:         m,
+		Jobs:             n,
+		Seed:             rng.Int63(),
+		MinWork:          5,
+		MaxWork:          50,
+		SpeedSpread:      0.4,
+		OverheadPerLevel: overhead,
+		PinFraction:      pin,
+	}
+	in, err := workload.Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// splitLines splits a string into its non-empty lines.
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}

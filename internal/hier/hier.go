@@ -1,0 +1,194 @@
+// Package hier implements Section IV of the paper: the two-phase
+// combinatorial scheduler for hierarchical (laminar) instances. Given a
+// feasible solution (x, T) of the assignment ILP (IP-2), Algorithm 2 walks
+// the laminar family bottom-up and splits each set's volume across its
+// machines greedily in ascending machine order (LOAD[i,α]); Algorithm 3
+// walks top-down and lays each set's jobs onto its machines with the
+// wrap-around rule, starting on the unique machine that already carries
+// load from a superset (Lemma IV.2 guarantees uniqueness). The result is a
+// valid schedule with makespan T (Theorem IV.3).
+package hier
+
+import (
+	"fmt"
+
+	"hsp/internal/model"
+	"hsp/internal/sched"
+)
+
+// Schedule turns the assignment a (job → admissible set), feasible for
+// makespan T, into a valid schedule in [0, T). It returns an error if the
+// assignment violates the ILP constraints (2a)-(2c).
+func Schedule(in *model.Instance, a model.Assignment, T int64) (*sched.Schedule, error) {
+	if err := a.Check(in, T); err != nil {
+		return nil, err
+	}
+	f := in.Family
+	m := f.M()
+	nsets := f.Len()
+
+	vol := a.Volumes(in)
+
+	// ---- Phase 1 (Algorithm 2): bottom-up volume allocation. ----
+	// load[s][i] is LOAD[i, α]: the part of set s's volume that machine i
+	// will carry. tot[s][i] is TOT-LOAD[i, α]: machine i's cumulative load
+	// over all subsets of s (only meaningful for i ∈ s).
+	load := make([][]int64, nsets)
+	tot := make([][]int64, nsets)
+	for s := range load {
+		load[s] = make([]int64, m)
+		tot[s] = make([]int64, m)
+	}
+	for _, s := range f.BottomUp() {
+		v := vol[s]
+		for _, i := range f.Machines(s) { // ascending machine order
+			var base int64
+			if c := f.ChildContaining(s, i); c >= 0 {
+				base = tot[c][i]
+			}
+			give := T - base
+			if give > v {
+				give = v
+			}
+			if give < 0 {
+				give = 0
+			}
+			load[s][i] = give
+			tot[s][i] = base + give
+			v -= give
+		}
+		if v > 0 {
+			return nil, fmt.Errorf("hier: set %d keeps %d unplaced units; constraint (2b) violated", s, v)
+		}
+	}
+
+	// ---- Phase 2 (Algorithm 3): top-down wrap-around placement. ----
+	// tEnd[s][i] records the time at which set s's block on machine i ends
+	// (mod T), consulted by descendants that share the machine.
+	tEnd := make([][]int64, nsets)
+	for s := range tEnd {
+		tEnd[s] = make([]int64, m)
+	}
+	out := sched.New(in.N(), m, T)
+
+	// Jobs of each set, consumed in index order along the virtual timeline.
+	jobsOf := make([][]int, nsets)
+	for j, s := range a {
+		if in.Proc[j][s] > 0 {
+			jobsOf[s] = append(jobsOf[s], j)
+		}
+	}
+
+	for _, s := range f.TopDown() {
+		// Find the unique machine that carries load from both s and some
+		// strict superset of s (Lemma IV.2). The minimal such superset
+		// determines where s's block starts on that machine.
+		start := int64(0)
+		first := -1
+		for _, i := range f.Machines(s) {
+			if load[s][i] == 0 {
+				continue
+			}
+			for anc := f.Parent(s); anc >= 0; anc = f.Parent(anc) {
+				if load[anc][i] > 0 {
+					if first >= 0 && first != i {
+						return nil, fmt.Errorf("hier: internal error: machines %d and %d both doubly loaded for set %d (Lemma IV.2)", first, i, s)
+					}
+					if first < 0 {
+						first = i
+						start = tEnd[anc][i]
+					}
+					break // minimal superset found for this machine
+				}
+			}
+		}
+		order := machineOrder(f.Machines(s), first)
+
+		// Lay the set's jobs consecutively along the virtual timeline of
+		// its machine blocks.
+		ji := 0         // next job of set s
+		var jused int64 // units of that job already placed
+		t := start
+		for _, k := range order {
+			blk := load[s][k]
+			var off int64
+			for off < blk {
+				j := jobsOf[s][ji]
+				need := in.Proc[j][s] - jused
+				u := need
+				if u > blk-off {
+					u = blk - off
+				}
+				out.AddWrapped(j, k, (t+off)%T, u, T)
+				off += u
+				jused += u
+				if jused == in.Proc[j][s] {
+					ji++
+					jused = 0
+				}
+			}
+			t = (t + blk) % T
+			tEnd[s][k] = t
+		}
+		if ji != len(jobsOf[s]) || jused != 0 {
+			return nil, fmt.Errorf("hier: internal error: set %d placed %d of %d jobs", s, ji, len(jobsOf[s]))
+		}
+	}
+	return out.Normalize(), nil
+}
+
+// machineOrder returns the machines with `first` moved to the front
+// (ascending otherwise); first = -1 keeps plain ascending order, matching
+// Algorithm 3's "ℓ ← min β" default.
+func machineOrder(machines []int, first int) []int {
+	if first < 0 {
+		return machines
+	}
+	out := make([]int, 0, len(machines))
+	out = append(out, first)
+	for _, i := range machines {
+		if i != first {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Loads exposes the Phase-1 allocation for inspection and testing: the
+// LOAD[i, α] table of Algorithm 2, indexed [set][machine].
+func Loads(in *model.Instance, a model.Assignment, T int64) ([][]int64, error) {
+	if err := a.Check(in, T); err != nil {
+		return nil, err
+	}
+	f := in.Family
+	vol := a.Volumes(in)
+	load := make([][]int64, f.Len())
+	tot := make([][]int64, f.Len())
+	for s := range load {
+		load[s] = make([]int64, f.M())
+		tot[s] = make([]int64, f.M())
+	}
+	for _, s := range f.BottomUp() {
+		v := vol[s]
+		for _, i := range f.Machines(s) {
+			var base int64
+			if c := f.ChildContaining(s, i); c >= 0 {
+				base = tot[c][i]
+			}
+			give := T - base
+			if give > v {
+				give = v
+			}
+			if give < 0 {
+				give = 0
+			}
+			load[s][i] = give
+			tot[s][i] = base + give
+			v -= give
+		}
+		if v > 0 {
+			return nil, fmt.Errorf("hier: set %d keeps %d unplaced units", s, v)
+		}
+	}
+	return load, nil
+}

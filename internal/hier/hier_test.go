@@ -1,0 +1,315 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsp/internal/laminar"
+	"hsp/internal/model"
+	"hsp/internal/sched"
+	"hsp/internal/semipart"
+)
+
+func validate(t *testing.T, in *model.Instance, a model.Assignment, s *sched.Schedule, T int64) {
+	t.Helper()
+	demand, allowed := a.Requirement(in)
+	if err := s.Validate(sched.Requirement{Demand: demand, Allowed: allowed}); err != nil {
+		t.Fatalf("invalid schedule: %v\n%s", err, s.Gantt(1))
+	}
+	if mk := s.Makespan(); mk > T {
+		t.Fatalf("makespan %d exceeds T=%d", mk, T)
+	}
+}
+
+func TestExampleIII1ViaHier(t *testing.T) {
+	in := model.ExampleII1()
+	f := in.Family
+	a := model.Assignment{f.Singleton(0), f.Singleton(1), f.Roots()[0]}
+	s, err := Schedule(in, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate(t, in, a, s, 2)
+}
+
+func TestFlatFamilyIsMcNaughton(t *testing.T) {
+	// A = {M}: the scheduler must realize the optimal preemptive makespan
+	// max(max p, ceil(Σp/m)).
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(15)
+		f := laminar.Flat(m)
+		in := model.New(f)
+		var total, maxP int64
+		for j := 0; j < n; j++ {
+			p := int64(1 + rng.Intn(25))
+			in.AddJob([]int64{p})
+			total += p
+			if p > maxP {
+				maxP = p
+			}
+		}
+		opt := (total + int64(m) - 1) / int64(m)
+		if maxP > opt {
+			opt = maxP
+		}
+		a := make(model.Assignment, n) // everything on set 0 = M
+		s, err := Schedule(in, a, opt)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		validate(t, in, a, s, opt)
+	}
+}
+
+func TestRejectsInfeasibleAssignment(t *testing.T) {
+	in := model.ExampleII1()
+	f := in.Family
+	a := model.Assignment{f.Singleton(0), f.Singleton(1), f.Roots()[0]}
+	if _, err := Schedule(in, a, 1); err == nil {
+		t.Fatal("T=1 accepted (job 3 needs 2)")
+	}
+	bad := model.Assignment{f.Singleton(0), f.Singleton(0), f.Singleton(0)}
+	if _, err := Schedule(in, bad, 100); err == nil {
+		t.Fatal("inadmissible assignment accepted")
+	}
+}
+
+// randomLaminarFamily builds a random laminar family over m machines with
+// all singletons present (via recursive partitioning).
+func randomLaminarFamily(rng *rand.Rand, m int) *laminar.Family {
+	var sets [][]int
+	var rec func(machines []int)
+	rec = func(machines []int) {
+		sets = append(sets, append([]int(nil), machines...))
+		if len(machines) <= 1 {
+			return
+		}
+		k := 1 + rng.Intn(len(machines)-1)
+		rec(machines[:k])
+		rec(machines[k:])
+	}
+	all := make([]int, m)
+	for i := range all {
+		all[i] = i
+	}
+	rec(all)
+	f, err := laminar.New(m, sets)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// randomInstanceAndAssignment builds a random monotone instance over a
+// random laminar family, a random assignment, and the minimal T for which
+// the assignment satisfies (2b)-(2c).
+func randomInstanceAndAssignment(rng *rand.Rand) (*model.Instance, model.Assignment, int64) {
+	m := 2 + rng.Intn(9)
+	n := 1 + rng.Intn(28)
+	f := randomLaminarFamily(rng, m)
+	in := model.New(f)
+	maxLevel := f.Levels()
+	for j := 0; j < n; j++ {
+		base := int64(1 + rng.Intn(30))
+		step := int64(rng.Intn(4))
+		proc := make([]int64, f.Len())
+		for s := range proc {
+			proc[s] = base + step*int64(maxLevel-f.Level(s))
+		}
+		in.AddJob(proc)
+	}
+	a := make(model.Assignment, n)
+	for j := range a {
+		a[j] = rng.Intn(f.Len())
+	}
+	// Minimal feasible T for this assignment: per-set volume bounds plus
+	// the per-job (2c) bound.
+	vol := a.Volumes(in)
+	below := make([]int64, f.Len())
+	var T int64 = 1
+	for _, s := range f.BottomUp() {
+		below[s] = vol[s]
+		for _, c := range f.Children(s) {
+			below[s] += below[c]
+		}
+		if need := (below[s] + int64(f.Size(s)) - 1) / int64(f.Size(s)); need > T {
+			T = need
+		}
+	}
+	for j, s := range a {
+		if p := in.Proc[j][s]; p > T {
+			T = p
+		}
+	}
+	return in, a, T
+}
+
+// Theorem IV.3 as a property: Algorithms 2+3 produce a valid schedule for
+// every feasible (x, T) over random laminar families.
+func TestTheoremIV3Property(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, a, T := randomInstanceAndAssignment(rng)
+		if err := a.Check(in, T); err != nil {
+			t.Logf("seed %d: generator produced infeasible (x,T): %v", seed, err)
+			return false
+		}
+		s, err := Schedule(in, a, T)
+		if err != nil {
+			t.Logf("seed %d: scheduler failed: %v", seed, err)
+			return false
+		}
+		demand, allowed := a.Requirement(in)
+		if err := s.Validate(sched.Requirement{Demand: demand, Allowed: allowed}); err != nil {
+			t.Logf("seed %d: invalid schedule: %v", seed, err)
+			return false
+		}
+		return s.Makespan() <= T
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lemma IV.1 as a property: Phase 1 allocates each set's volume exactly and
+// never exceeds T cumulative load on any machine.
+func TestLemmaIV1Property(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, a, T := randomInstanceAndAssignment(rng)
+		load, err := Loads(in, a, T)
+		if err != nil {
+			return false
+		}
+		f := in.Family
+		vol := a.Volumes(in)
+		// (ii) volumes are fully placed.
+		for s := 0; s < f.Len(); s++ {
+			var sum int64
+			for _, i := range f.Machines(s) {
+				sum += load[s][i]
+			}
+			if sum != vol[s] {
+				t.Logf("seed %d: set %d placed %d of %d", seed, s, sum, vol[s])
+				return false
+			}
+		}
+		// (i) cumulative load per machine ≤ T.
+		for i := 0; i < f.M(); i++ {
+			var sum int64
+			for s := 0; s < f.Len(); s++ {
+				if f.Contains(s, i) {
+					sum += load[s][i]
+				}
+			}
+			if sum > T {
+				t.Logf("seed %d: machine %d carries %d > T=%d", seed, i, sum, T)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// On semi-partitioned instances both schedulers must accept the same
+// feasible inputs and produce valid schedules.
+func TestAgreesWithSemiPartitioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(20)
+		f := laminar.SemiPartitioned(m)
+		in := model.New(f)
+		root := f.Roots()[0]
+		a := make(model.Assignment, n)
+		for j := 0; j < n; j++ {
+			base := int64(1 + rng.Intn(20))
+			proc := make([]int64, f.Len())
+			for s := range proc {
+				if s == root {
+					proc[s] = base + int64(rng.Intn(4))
+				} else {
+					proc[s] = base
+				}
+			}
+			in.AddJob(proc)
+			if rng.Intn(2) == 0 {
+				a[j] = root
+			} else {
+				a[j] = f.Singleton(rng.Intn(m))
+			}
+		}
+		T := int64(1)
+		for a.Check(in, T) != nil {
+			T++
+		}
+		s1, err1 := Schedule(in, a, T)
+		s2, err2 := semipart.Schedule(in, a, T)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: hier err=%v semipart err=%v", trial, err1, err2)
+		}
+		demand, allowed := a.Requirement(in)
+		req := sched.Requirement{Demand: demand, Allowed: allowed}
+		if err := s1.Validate(req); err != nil {
+			t.Fatalf("trial %d: hier invalid: %v", trial, err)
+		}
+		if err := s2.Validate(req); err != nil {
+			t.Fatalf("trial %d: semipart invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestDeepHierarchyStress(t *testing.T) {
+	f, err := laminar.Hierarchy(2, 2, 2, 2) // 16 machines, 5 levels
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	in := model.New(f)
+	n := 60
+	a := make(model.Assignment, n)
+	maxLevel := f.Levels()
+	for j := 0; j < n; j++ {
+		base := int64(5 + rng.Intn(40))
+		proc := make([]int64, f.Len())
+		for s := range proc {
+			proc[s] = base + 3*int64(maxLevel-f.Level(s))
+		}
+		in.AddJob(proc)
+		a[j] = rng.Intn(f.Len())
+	}
+	T := int64(1)
+	for a.Check(in, T) != nil {
+		T++
+	}
+	s, err := Schedule(in, a, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate(t, in, a, s, T)
+	// Every machine-move count must stay sane on the cyclic timeline.
+	st := s.CyclicStats()
+	if st.Migrations < 0 || st.Preemptions < 0 {
+		t.Fatalf("negative stats: %+v", st)
+	}
+}
+
+func TestEmptySetsAndZeroJobs(t *testing.T) {
+	f, _ := laminar.Clustered(2, 2)
+	in := model.New(f)
+	in.AddJob(make([]int64, f.Len())) // zero-length job
+	a := model.Assignment{0}
+	s, err := Schedule(in, a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Intervals) != 0 {
+		t.Fatalf("zero job produced intervals: %+v", s.Intervals)
+	}
+}

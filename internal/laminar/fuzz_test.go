@@ -1,0 +1,61 @@
+package laminar
+
+import (
+	"testing"
+)
+
+// FuzzNew decodes arbitrary bytes as a set family and checks that New
+// either rejects it or produces a structurally consistent Family: no
+// crash, no invariant violation.
+func FuzzNew(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 2, 3, 255, 0, 255, 1})
+	f.Add(uint8(2), []byte{0, 255, 1, 255, 0, 1})
+	f.Add(uint8(8), []byte{0, 1, 2, 3, 4, 5, 6, 7, 255, 0, 1, 255, 2, 3})
+	f.Fuzz(func(t *testing.T, mRaw uint8, data []byte) {
+		m := 1 + int(mRaw%12)
+		// 255 separates sets; other bytes are machine indices mod m.
+		var sets [][]int
+		var cur []int
+		for _, b := range data {
+			if b == 255 {
+				if len(cur) > 0 {
+					sets = append(sets, cur)
+					cur = nil
+				}
+				continue
+			}
+			cur = append(cur, int(b)%m)
+		}
+		if len(cur) > 0 {
+			sets = append(sets, cur)
+		}
+		fam, err := New(m, sets)
+		if err != nil {
+			return // rejected input is fine
+		}
+		// Accepted families must satisfy the structural invariants.
+		for id := 0; id < fam.Len(); id++ {
+			if p := fam.Parent(id); p >= 0 {
+				for _, i := range fam.Machines(id) {
+					if !fam.Contains(p, i) {
+						t.Fatalf("set %d not contained in parent %d", id, p)
+					}
+				}
+				if fam.Level(id) != fam.Level(p)+1 {
+					t.Fatalf("level inconsistency at %d", id)
+				}
+			}
+			for _, c := range fam.Children(id) {
+				if fam.Parent(c) != id {
+					t.Fatalf("children/parent mismatch at %d/%d", id, c)
+				}
+			}
+		}
+		for i := 0; i < m; i++ {
+			mc := fam.MinimalContaining(i)
+			if mc >= 0 && !fam.Contains(mc, i) {
+				t.Fatalf("MinimalContaining(%d) = %d does not contain it", i, mc)
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package laminar
+
+import "fmt"
+
+// The constructors below build the canonical admissible families from
+// Section II of the paper.
+
+// Flat returns A = {M}: preemptive identical parallel machines
+// (P|pmtn|Cmax), every job freely migratable.
+func Flat(m int) *Family {
+	return MustNew(m, [][]int{allMachines(m)})
+}
+
+// Singletons returns A = {{0}, ..., {m-1}}: unrelated machine scheduling
+// (R||Cmax), no migration.
+func Singletons(m int) *Family {
+	sets := make([][]int, m)
+	for i := 0; i < m; i++ {
+		sets[i] = []int{i}
+	}
+	return MustNew(m, sets)
+}
+
+// SemiPartitioned returns A = {M, {0}, ..., {m-1}}: each job is either
+// global or pinned to one machine (Section III).
+func SemiPartitioned(m int) *Family {
+	sets := make([][]int, 0, m+1)
+	sets = append(sets, allMachines(m))
+	for i := 0; i < m; i++ {
+		sets = append(sets, []int{i})
+	}
+	return MustNew(m, sets)
+}
+
+// Clustered returns the clustered family for m = k*q machines grouped in k
+// clusters of q: A = {M} ∪ clusters ∪ singletons (Section II).
+func Clustered(k, q int) (*Family, error) {
+	if k <= 0 || q <= 0 {
+		return nil, fmt.Errorf("laminar: clustered topology needs positive k and q, got k=%d q=%d", k, q)
+	}
+	m := k * q
+	sets := [][]int{allMachines(m)}
+	if k > 1 && q > 1 { // k=1 duplicates the root, q=1 duplicates singletons
+		for c := 0; c < k; c++ {
+			cluster := make([]int, q)
+			for i := range cluster {
+				cluster[i] = c*q + i
+			}
+			sets = append(sets, cluster)
+		}
+	}
+	if m > 1 { // m=1: the root {0} is already the singleton
+		for i := 0; i < m; i++ {
+			sets = append(sets, []int{i})
+		}
+	}
+	return New(m, sets)
+}
+
+// Hierarchy builds a complete multi-level hierarchy from branching factors:
+// branching[0] top-level groups, each split into branching[1] subgroups, and
+// so on; leaves are single machines. For example Hierarchy(2, 2, 2) is an
+// SMP-CMP cluster with 2 nodes × 2 chips × 2 cores = 8 machines, and the
+// family contains the root, the 2 nodes, the 4 chips and the 8 singletons.
+func Hierarchy(branching ...int) (*Family, error) {
+	if len(branching) == 0 {
+		return nil, fmt.Errorf("laminar: hierarchy needs at least one branching factor")
+	}
+	m := 1
+	for _, b := range branching {
+		if b <= 0 {
+			return nil, fmt.Errorf("laminar: branching factors must be positive, got %v", branching)
+		}
+		m *= b
+	}
+	var sets [][]int
+	groups := 1
+	span := m
+	sets = append(sets, allMachines(m))
+	for _, b := range branching {
+		groups *= b
+		span = m / groups
+		if b == 1 {
+			continue // no new partition below the previous level
+		}
+		if span == 1 && groups == m {
+			break
+		}
+		for g := 0; g < groups; g++ {
+			grp := make([]int, span)
+			for i := range grp {
+				grp[i] = g*span + i
+			}
+			sets = append(sets, grp)
+		}
+	}
+	if m > 1 { // m=1: the root {0} is already the singleton
+		for i := 0; i < m; i++ {
+			sets = append(sets, []int{i})
+		}
+	}
+	return New(m, sets)
+}
+
+func allMachines(m int) []int {
+	all := make([]int, m)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}

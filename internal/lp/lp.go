@@ -1,0 +1,522 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	min c·x   subject to   A x {≤,=,≥} b,  x ≥ 0.
+//
+// It is the LP oracle behind the paper's Section V rounding (binary search
+// over the makespan T on the fractional relaxation of IP-3), the
+// Lenstra–Shmoys–Tardos rounding for unrelated machines, and the iterative
+// rounding of Section VI. The solver returns basic feasible solutions, i.e.
+// vertices of the feasible polyhedron, which those roundings require.
+//
+// The implementation favors robustness over speed: rows are equilibrated at
+// build time, Dantzig pricing switches to Bland's rule after a run of
+// degenerate pivots (guaranteeing termination), and an iteration cap turns
+// pathological cases into errors instead of hangs.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int8
+
+// Constraint operators.
+const (
+	LE Op = iota // ≤
+	GE           // ≥
+	EQ           // =
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Status describes the outcome of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+type constraint struct {
+	idx []int
+	val []float64
+	op  Op
+	rhs float64
+}
+
+// Problem is a linear program under construction. All variables are
+// implicitly nonnegative. The zero objective turns Solve into a pure
+// feasibility check.
+type Problem struct {
+	nvars int
+	obj   []float64
+	cons  []constraint
+}
+
+// NewProblem creates a problem with the given number of nonnegative
+// variables and a zero objective.
+func NewProblem(nvars int) *Problem {
+	if nvars < 0 {
+		panic("lp: negative variable count")
+	}
+	return &Problem{nvars: nvars, obj: make([]float64, nvars)}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.nvars }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetObjectiveCoeff sets the minimization objective coefficient of var i.
+func (p *Problem) SetObjectiveCoeff(i int, c float64) {
+	p.obj[i] = c
+}
+
+// AddConstraint appends the constraint Σ val[k]·x[idx[k]] op rhs.
+// idx entries must be distinct, in range, and idx/val of equal length.
+func (p *Problem) AddConstraint(idx []int, val []float64, op Op, rhs float64) error {
+	if len(idx) != len(val) {
+		return fmt.Errorf("lp: idx/val length mismatch: %d vs %d", len(idx), len(val))
+	}
+	seen := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		if i < 0 || i >= p.nvars {
+			return fmt.Errorf("lp: variable index %d out of range [0,%d)", i, p.nvars)
+		}
+		if seen[i] {
+			return fmt.Errorf("lp: variable index %d repeated in constraint", i)
+		}
+		seen[i] = true
+	}
+	p.cons = append(p.cons, constraint{
+		idx: append([]int(nil), idx...),
+		val: append([]float64(nil), val...),
+		op:  op,
+		rhs: rhs,
+	})
+	return nil
+}
+
+// MustAddConstraint is AddConstraint, panicking on malformed input. The
+// relaxation builders construct indices programmatically, so a failure is a
+// programming error, not an input error.
+func (p *Problem) MustAddConstraint(idx []int, val []float64, op Op, rhs float64) {
+	if err := p.AddConstraint(idx, val, op, rhs); err != nil {
+		panic(err)
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status     Status
+	X          []float64 // structural variable values (valid when Optimal)
+	Objective  float64   // c·X (valid when Optimal)
+	Iterations int       // total simplex pivots across both phases
+}
+
+const (
+	pivTol  = 1e-9 // minimum magnitude of an acceptable pivot element
+	zeroTol = 1e-9 // values below this are treated as zero
+	feasTol = 1e-7 // phase-1 objective threshold for feasibility
+)
+
+// Solve runs two-phase simplex and returns the solution. An error is
+// returned only for resource exhaustion (iteration cap), never for
+// infeasible or unbounded problems, which are reported in Status.
+func (p *Problem) Solve() (*Solution, error) {
+	t := newTableau(p)
+	sol := &Solution{}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if t.nart > 0 {
+		it, err := t.iterate(t.cost1, true)
+		sol.Iterations += it
+		if err != nil {
+			return nil, fmt.Errorf("lp: phase 1: %w", err)
+		}
+		if t.cost1[t.ncols] < -feasTol*(1+float64(t.nrows)) {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		t.driveOutArtificials()
+	}
+
+	// Phase 2: minimize the true objective with artificials banned.
+	t.priceOut(t.cost2)
+	it, err := t.iterate(t.cost2, false)
+	sol.Iterations += it
+	if err != nil {
+		return nil, fmt.Errorf("lp: phase 2: %w", err)
+	}
+	if t.unbounded {
+		sol.Status = Unbounded
+		return sol, nil
+	}
+
+	sol.Status = Optimal
+	sol.X = make([]float64, p.nvars)
+	for r := 0; r < t.nrows; r++ {
+		if v := t.basis[r]; v < p.nvars {
+			sol.X[v] = t.rhs[r]
+			if sol.X[v] < 0 && sol.X[v] > -zeroTol {
+				sol.X[v] = 0
+			}
+		}
+	}
+	for i, c := range p.obj {
+		sol.Objective += c * sol.X[i]
+	}
+	return sol, nil
+}
+
+// Feasible reports whether the constraint system admits any x ≥ 0, together
+// with a witness vertex when it does.
+func (p *Problem) Feasible() (bool, []float64, error) {
+	sol, err := p.Solve()
+	if err != nil {
+		return false, nil, err
+	}
+	if sol.Status == Infeasible {
+		return false, nil, nil
+	}
+	return true, sol.X, nil
+}
+
+// tableau is the dense simplex working state.
+type tableau struct {
+	nrows, ncols  int // ncols excludes the RHS
+	nstruct, nart int
+	artStart      int
+	a             [][]float64 // nrows × ncols
+	rhs           []float64
+	basis         []int     // basic variable of each row
+	cost1, cost2  []float64 // reduced-cost rows, length ncols+1 (last = -objective)
+	unbounded     bool
+	degenStreak   int
+	blandMode     bool
+	rowScale      []float64 // applied scaling per row (for diagnostics)
+}
+
+func newTableau(p *Problem) *tableau {
+	nrows := len(p.cons)
+	// Column layout: [structural | slacks+surpluses | artificials].
+	// Counting must use the op AFTER rhs-sign normalization: an LE row with
+	// negative rhs becomes a GE row and needs an artificial.
+	normOp := func(c constraint) Op {
+		if c.rhs >= 0 || c.op == EQ {
+			return c.op
+		}
+		if c.op == LE {
+			return GE
+		}
+		return LE
+	}
+	nslack, nart := 0, 0
+	for _, c := range p.cons {
+		switch normOp(c) {
+		case LE:
+			nslack++
+		case GE:
+			nslack++
+			nart++
+		case EQ:
+			nart++
+		}
+	}
+	ncols := p.nvars + nslack + nart
+	t := &tableau{
+		nrows:    nrows,
+		ncols:    ncols,
+		nstruct:  p.nvars,
+		nart:     nart,
+		artStart: p.nvars + nslack,
+		a:        make([][]float64, nrows),
+		rhs:      make([]float64, nrows),
+		basis:    make([]int, nrows),
+		cost1:    make([]float64, ncols+1),
+		cost2:    make([]float64, ncols+1),
+		rowScale: make([]float64, nrows),
+	}
+	slack := p.nvars
+	art := t.artStart
+	for r, c := range p.cons {
+		row := make([]float64, ncols)
+		rhs := c.rhs
+		op := c.op
+		for k, i := range c.idx {
+			row[i] = c.val[k]
+		}
+		// Normalize to rhs ≥ 0.
+		if rhs < 0 {
+			rhs = -rhs
+			for i := range row {
+				row[i] = -row[i]
+			}
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		// Row equilibration: divide by the largest structural magnitude so
+		// tolerances behave uniformly across constraints with very
+		// different coefficient scales (loads vs. memory sizes).
+		scale := 0.0
+		for _, v := range row {
+			if av := math.Abs(v); av > scale {
+				scale = av
+			}
+		}
+		if av := math.Abs(rhs); av > scale {
+			scale = av
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		inv := 1 / scale
+		for i := range row {
+			row[i] *= inv
+		}
+		rhs *= inv
+		t.rowScale[r] = scale
+
+		switch op {
+		case LE:
+			row[slack] = 1
+			t.basis[r] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[r] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[r] = art
+			art++
+		}
+		t.a[r] = row
+		t.rhs[r] = rhs
+	}
+
+	// Phase-1 reduced costs: minimize Σ artificials, priced out over the
+	// initial basis (each basic artificial contributes -row to the cost).
+	for j := t.artStart; j < ncols; j++ {
+		t.cost1[j] = 1
+	}
+	for r := 0; r < nrows; r++ {
+		if t.basis[r] >= t.artStart {
+			for j := 0; j <= ncols; j++ {
+				if j == ncols {
+					t.cost1[j] -= t.rhs[r]
+				} else {
+					t.cost1[j] -= t.a[r][j]
+				}
+			}
+		}
+	}
+	// Phase-2 costs are priced out after phase 1 (the basis changes).
+	for i, c := range p.obj {
+		t.cost2[i] = c
+	}
+	return t
+}
+
+// priceOut recomputes the reduced-cost row so basic columns cost zero.
+func (t *tableau) priceOut(cost []float64) {
+	for r := 0; r < t.nrows; r++ {
+		v := t.basis[r]
+		cv := cost[v]
+		if cv == 0 {
+			continue
+		}
+		row := t.a[r]
+		for j := 0; j < t.ncols; j++ {
+			cost[j] -= cv * row[j]
+		}
+		cost[t.ncols] -= cv * t.rhs[r]
+	}
+}
+
+// iterate runs simplex pivots until optimality for the given cost row.
+// banArtificialsEnter=false is used in phase 2 where artificial columns may
+// never re-enter the basis; in phase 1 they may (they are the basis).
+func (t *tableau) iterate(cost []float64, phase1 bool) (int, error) {
+	maxIter := 2000 + 200*(t.nrows+t.ncols)
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		enter := t.chooseEntering(cost, phase1)
+		if enter < 0 {
+			return iters, nil // optimal for this phase
+		}
+		leave := t.chooseLeaving(enter)
+		if leave < 0 {
+			if phase1 {
+				// Phase-1 objective is bounded below by 0; an unbounded ray
+				// indicates numerical trouble.
+				return iters, fmt.Errorf("unbounded phase-1 ray (numerical instability)")
+			}
+			t.unbounded = true
+			return iters, nil
+		}
+		if t.rhs[leave] < zeroTol {
+			t.degenStreak++
+			if t.degenStreak > 2*(t.nrows+8) {
+				t.blandMode = true
+			}
+		} else {
+			t.degenStreak = 0
+			t.blandMode = false
+		}
+		t.pivot(leave, enter)
+	}
+	return iters, fmt.Errorf("iteration cap %d exceeded (rows=%d cols=%d)", maxIter, t.nrows, t.ncols)
+}
+
+// chooseEntering picks a column with negative reduced cost, or -1 at
+// optimality. Dantzig rule normally; Bland's smallest-index rule when a
+// degenerate streak indicates cycling risk. Artificial columns never enter:
+// they start basic in phase 1 and once out they stay out.
+func (t *tableau) chooseEntering(cost []float64, _ bool) int {
+	limit := t.artStart
+	if t.blandMode {
+		for j := 0; j < limit; j++ {
+			if cost[j] < -zeroTol {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -zeroTol
+	for j := 0; j < limit; j++ {
+		if cost[j] < bestVal {
+			best, bestVal = j, cost[j]
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the ratio test for the entering column, or returns -1
+// if the column is unbounded.
+func (t *tableau) chooseLeaving(enter int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	bestPivot := 0.0
+	for r := 0; r < t.nrows; r++ {
+		a := t.a[r][enter]
+		if a <= pivTol {
+			continue
+		}
+		ratio := t.rhs[r] / a
+		switch {
+		case ratio < bestRatio-zeroTol:
+			best, bestRatio, bestPivot = r, ratio, a
+		case ratio <= bestRatio+zeroTol:
+			if t.blandMode {
+				// Bland: among ties, leave the row whose basic variable has
+				// the smallest index.
+				if best < 0 || t.basis[r] < t.basis[best] {
+					best, bestRatio, bestPivot = r, ratio, a
+				}
+			} else if a > bestPivot {
+				// Stability: prefer the largest pivot element.
+				best, bestRatio, bestPivot = r, ratio, a
+			}
+		}
+	}
+	return best
+}
+
+// pivot makes column enter basic in row leave, updating both cost rows.
+func (t *tableau) pivot(leave, enter int) {
+	prow := t.a[leave]
+	pval := prow[enter]
+	inv := 1 / pval
+	for j := 0; j < t.ncols; j++ {
+		prow[j] *= inv
+	}
+	prow[enter] = 1 // exact
+	t.rhs[leave] *= inv
+	for r := 0; r < t.nrows; r++ {
+		if r == leave {
+			continue
+		}
+		f := t.a[r][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.a[r]
+		for j := 0; j < t.ncols; j++ {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0 // exact
+		t.rhs[r] -= f * t.rhs[leave]
+		if t.rhs[r] < 0 && t.rhs[r] > -zeroTol {
+			t.rhs[r] = 0
+		}
+	}
+	for _, cost := range [][]float64{t.cost1, t.cost2} {
+		f := cost[enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.ncols; j++ {
+			cost[j] -= f * prow[j]
+		}
+		cost[enter] = 0
+		cost[t.ncols] -= f * t.rhs[leave]
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials pivots zero-valued basic artificials out of the basis
+// where possible. Rows where every non-artificial coefficient vanishes are
+// redundant constraints; their artificial stays basic at zero and is
+// harmless because no phase-2 pivot can change an all-zero row.
+func (t *tableau) driveOutArtificials() {
+	for r := 0; r < t.nrows; r++ {
+		if t.basis[r] < t.artStart {
+			continue
+		}
+		row := t.a[r]
+		bestJ, bestA := -1, pivTol
+		for j := 0; j < t.artStart; j++ {
+			if av := math.Abs(row[j]); av > bestA {
+				bestJ, bestA = j, av
+			}
+		}
+		if bestJ >= 0 {
+			t.pivot(r, bestJ)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package model
+
+import "hsp/internal/laminar"
+
+// ExampleII1 builds the instance of Example II.1 (= Example III.1): two
+// machines, semi-partitioned family, three jobs. Job 0 runs only on machine
+// 0 (time 1), job 1 only on machine 1 (time 1), job 2 anywhere with time 2.
+// Its optimal semi-partitioned makespan is 2; the unrelated projection has
+// optimal makespan 3.
+func ExampleII1() *Instance {
+	f := laminar.SemiPartitioned(2) // set 0 = {0,1}, set 1 = {0}, set 2 = {1}
+	in := New(f)
+	g := f.Roots()[0]
+	s0, s1 := f.Singleton(0), f.Singleton(1)
+	in.AddJobMap(map[int]int64{s0: 1})              // job 1 of the paper
+	in.AddJobMap(map[int]int64{s1: 1})              // job 2
+	in.AddJobMap(map[int]int64{g: 2, s0: 2, s1: 2}) // job 3
+	return in
+}
+
+// ExampleV1 builds the gap family of Example V.1 for a given n ≥ 2: n jobs,
+// m = n-1 machines, semi-partitioned. Job j (j < n-1) runs only on machine
+// j with time n-2; job n-1 runs anywhere with time n-1. The hierarchical
+// optimum is n-1 while the unrelated projection's optimum is 2n-3, so the
+// gap (2n-3)/(n-1) approaches 2.
+func ExampleV1(n int) *Instance {
+	m := n - 1
+	f := laminar.SemiPartitioned(m)
+	in := New(f)
+	g := f.Roots()[0]
+	for j := 0; j < n-1; j++ {
+		in.AddJobMap(map[int]int64{f.Singleton(j): int64(n - 2)})
+	}
+	last := map[int]int64{g: int64(n - 1)}
+	for i := 0; i < m; i++ {
+		last[f.Singleton(i)] = int64(n - 1)
+	}
+	in.AddJobMap(last)
+	return in
+}

@@ -1,0 +1,40 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary JSON to the instance decoder: it must never
+// crash, and everything it accepts must re-encode and re-decode stably.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Encode(&seed, ExampleII1()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"machines":2,"sets":[[0,1],[0],[1]],"proc":[[2,1,1]]}`)
+	f.Add(`{"machines":0,"sets":[],"proc":[]}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, data string) {
+		in, err := Decode(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid instance: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, in); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.N() != in.N() || back.M() != in.M() {
+			t.Fatalf("round trip changed dimensions")
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package model
+
+import "fmt"
+
+// GeneralInstance is a scheduling instance over an arbitrary (not
+// necessarily laminar) admissible family, the setting of the Section II
+// 8-approximation. Sets[s] lists the machines of set s; Proc[j][s] is
+// P_j(set s) with Infinity marking inadmissibility.
+type GeneralInstance struct {
+	M    int
+	Sets [][]int
+	Proc [][]int64
+}
+
+// N returns the number of jobs.
+func (g *GeneralInstance) N() int { return len(g.Proc) }
+
+// Validate checks set sanity and monotonicity of every P_j over all nested
+// set pairs (quadratic in |A|, fine for the intended experiment sizes).
+func (g *GeneralInstance) Validate() error {
+	if g.M <= 0 {
+		return fmt.Errorf("model: general instance needs machines")
+	}
+	member := make([][]bool, len(g.Sets))
+	for s, set := range g.Sets {
+		if len(set) == 0 {
+			return fmt.Errorf("model: general set %d is empty", s)
+		}
+		member[s] = make([]bool, g.M)
+		for _, i := range set {
+			if i < 0 || i >= g.M {
+				return fmt.Errorf("model: general set %d contains machine %d outside [0,%d)", s, i, g.M)
+			}
+			member[s][i] = true
+		}
+	}
+	subset := func(a, b int) bool {
+		for i := 0; i < g.M; i++ {
+			if member[a][i] && !member[b][i] {
+				return false
+			}
+		}
+		return true
+	}
+	for j, proc := range g.Proc {
+		if len(proc) != len(g.Sets) {
+			return fmt.Errorf("model: job %d has %d times for %d sets", j, len(proc), len(g.Sets))
+		}
+		admissible := false
+		for s, v := range proc {
+			if v < 0 {
+				return fmt.Errorf("model: job %d has negative time on set %d", j, s)
+			}
+			if v < Infinity {
+				admissible = true
+			}
+			_ = s
+		}
+		if !admissible {
+			return fmt.Errorf("model: job %d has no admissible set", j)
+		}
+		for a := range g.Sets {
+			for b := range g.Sets {
+				if a != b && subset(a, b) && proc[a] > proc[b] {
+					return fmt.Errorf("model: job %d violates monotonicity between sets %d ⊆ %d", j, a, b)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// UnrelatedProjection builds p'_{ij} = min over admissible sets containing
+// machine i of P_j (Infinity when no set contains i): the reduction used by
+// the 8-approximation of Section II.
+func (g *GeneralInstance) UnrelatedProjection() [][]int64 {
+	out := make([][]int64, g.N())
+	for j := range out {
+		row := make([]int64, g.M)
+		for i := range row {
+			row[i] = Infinity
+		}
+		for s, set := range g.Sets {
+			p := g.Proc[j][s]
+			for _, i := range set {
+				if p < row[i] {
+					row[i] = p
+				}
+			}
+		}
+		out[j] = row
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+// Package model defines the hierarchical scheduling problem instance of
+// Section II of the paper: n jobs, m machines, a laminar admissible family
+// A of machine subsets, and for each job j a monotone processing-time
+// function P_j : A → Z+ (written Proc[j][setID]); P_j(α) ≤ P_j(β) whenever
+// α ⊆ β, modelling migration overheads that grow with the affinity mask.
+// Infinity marks inadmissible (job, set) pairs.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"hsp/internal/laminar"
+)
+
+// Infinity is the sentinel processing time of an inadmissible (job, set)
+// pair. It is large enough that sums of n·|A| processing times cannot
+// overflow int64 yet still register as "never schedulable".
+const Infinity int64 = math.MaxInt64 / 16
+
+// Instance is a hierarchical scheduling instance.
+type Instance struct {
+	Family *laminar.Family
+	// Proc[j][s] is P_j(set s), or Infinity when job j may not use set s.
+	Proc [][]int64
+}
+
+// New returns an instance with no jobs over the given family.
+func New(f *laminar.Family) *Instance {
+	return &Instance{Family: f}
+}
+
+// M returns the number of machines.
+func (in *Instance) M() int { return in.Family.M() }
+
+// N returns the number of jobs.
+func (in *Instance) N() int { return len(in.Proc) }
+
+// AddJob appends a job whose processing time on set id s is proc[s];
+// len(proc) must equal the family size. It returns the new job's index.
+func (in *Instance) AddJob(proc []int64) int {
+	cp := append([]int64(nil), proc...)
+	in.Proc = append(in.Proc, cp)
+	return len(in.Proc) - 1
+}
+
+// AddJobMap appends a job given a set-id → time map; unspecified sets are
+// inadmissible. It returns the new job's index.
+func (in *Instance) AddJobMap(times map[int]int64) int {
+	proc := make([]int64, in.Family.Len())
+	for s := range proc {
+		proc[s] = Infinity
+	}
+	for s, v := range times {
+		proc[s] = v
+	}
+	return in.AddJob(proc)
+}
+
+// Validate checks structural consistency and the monotonicity requirement
+// P_j(α) ≤ P_j(β) for α ⊆ β. On a laminar family it suffices to compare
+// each set with its parent.
+func (in *Instance) Validate() error {
+	nsets := in.Family.Len()
+	for j, proc := range in.Proc {
+		if len(proc) != nsets {
+			return fmt.Errorf("model: job %d has %d processing times, family has %d sets", j, len(proc), nsets)
+		}
+		admissible := false
+		for s, v := range proc {
+			if v < 0 {
+				return fmt.Errorf("model: job %d has negative processing time %d on set %d", j, v, s)
+			}
+			if v > Infinity {
+				return fmt.Errorf("model: job %d processing time %d on set %d exceeds Infinity", j, v, s)
+			}
+			if v < Infinity {
+				admissible = true
+			}
+			if p := in.Family.Parent(s); p >= 0 && proc[s] > proc[p] {
+				return fmt.Errorf("model: job %d violates monotonicity: P(set %d)=%d > P(parent %d)=%d",
+					j, s, proc[s], p, proc[p])
+			}
+		}
+		if !admissible {
+			return fmt.Errorf("model: job %d has no admissible set", j)
+		}
+	}
+	return nil
+}
+
+// Admissible reports whether job j may be assigned to set s.
+func (in *Instance) Admissible(j, s int) bool { return in.Proc[j][s] < Infinity }
+
+// MinProc returns the minimum processing time of job j over admissible sets
+// and the set attaining it (-1 when the job has no admissible set).
+func (in *Instance) MinProc(j int) (int64, int) {
+	best, arg := Infinity, -1
+	for s, v := range in.Proc[j] {
+		if v < best {
+			best, arg = v, s
+		}
+	}
+	return best, arg
+}
+
+// TrivialUpperBound returns Σ_j min_α P_j(α): the makespan of running all
+// jobs back-to-back on their cheapest sets, a valid upper bound used to
+// initialize binary searches.
+func (in *Instance) TrivialUpperBound() int64 {
+	var ub int64
+	for j := 0; j < in.N(); j++ {
+		v, _ := in.MinProc(j)
+		if v >= Infinity {
+			return Infinity
+		}
+		ub += v
+	}
+	if ub == 0 {
+		ub = 1
+	}
+	return ub
+}
+
+// LowerBoundSimple returns max over jobs of min_α P_j(α), a trivial lower
+// bound on the optimal makespan.
+func (in *Instance) LowerBoundSimple() int64 {
+	var lb int64
+	for j := 0; j < in.N(); j++ {
+		if v, _ := in.MinProc(j); v < Infinity && v > lb {
+			lb = v
+		}
+	}
+	return lb
+}
+
+// WithSingletons returns an instance over the family extended with every
+// missing singleton; an added singleton {i} inherits the processing times of
+// the previously inclusion-minimal set containing i, as prescribed in
+// Section V ("these sets can be added to A by setting the processing time
+// of a job j on machine i as the processing time of j on the minimal set in
+// A that contains i"). The original instance is returned unchanged when all
+// singletons are present.
+func (in *Instance) WithSingletons() *Instance {
+	nf, inherit := in.Family.WithSingletons()
+	if nf == in.Family {
+		return in
+	}
+	out := New(nf)
+	for _, proc := range in.Proc {
+		np := make([]int64, nf.Len())
+		copy(np, proc)
+		for s := len(proc); s < nf.Len(); s++ {
+			np[s] = proc[inherit[s]]
+		}
+		out.AddJob(np)
+	}
+	return out
+}
+
+// UnrelatedProjection builds the unrelated-machines matrix p'_{ij} = P_j on
+// the inclusion-minimal set containing machine i (Infinity when no set
+// contains i or the job is inadmissible there). This is the instance I_u of
+// Section V used by the LST rounding and by Example V.1's gap analysis.
+func (in *Instance) UnrelatedProjection() [][]int64 {
+	m := in.M()
+	out := make([][]int64, in.N())
+	for j := range out {
+		row := make([]int64, m)
+		for i := 0; i < m; i++ {
+			if s := in.Family.MinimalContaining(i); s >= 0 {
+				row[i] = in.Proc[j][s]
+			} else {
+				row[i] = Infinity
+			}
+		}
+		out[j] = row
+	}
+	return out
+}
+
+// Assignment maps each job to the id of its affinity mask.
+type Assignment []int
+
+// Volumes returns, for each set s, the total processing volume of the jobs
+// assigned to s: Σ_{j: a[j]=s} P_j(s).
+func (a Assignment) Volumes(in *Instance) []int64 {
+	vol := make([]int64, in.Family.Len())
+	for j, s := range a {
+		vol[s] += in.Proc[j][s]
+	}
+	return vol
+}
+
+// Check verifies that the assignment together with makespan T satisfies the
+// ILP constraints (2a)-(2c) of the paper — the precondition of the
+// hierarchical scheduler (Algorithms 2 and 3).
+func (a Assignment) Check(in *Instance, T int64) error {
+	if len(a) != in.N() {
+		return fmt.Errorf("model: assignment covers %d jobs, instance has %d", len(a), in.N())
+	}
+	f := in.Family
+	for j, s := range a {
+		if s < 0 || s >= f.Len() {
+			return fmt.Errorf("model: job %d assigned to unknown set %d", j, s)
+		}
+		if !in.Admissible(j, s) {
+			return fmt.Errorf("model: job %d assigned to inadmissible set %d", j, s)
+		}
+		if in.Proc[j][s] > T {
+			return fmt.Errorf("model: job %d needs %d > T=%d on set %d (violates 2c)", j, in.Proc[j][s], T, s)
+		}
+	}
+	vol := a.Volumes(in)
+	// (2b): for each α, the total volume of subsets of α fits in |α|·T.
+	below := make([]int64, f.Len())
+	for _, s := range f.BottomUp() {
+		below[s] = vol[s]
+		for _, c := range f.Children(s) {
+			below[s] += below[c]
+		}
+		if cap := int64(f.Size(s)) * T; below[s] > cap {
+			return fmt.Errorf("model: set %d overloaded: volume %d > |α|·T = %d (violates 2b)", s, below[s], cap)
+		}
+	}
+	return nil
+}
+
+// MinMakespan returns the smallest T for which the assignment satisfies
+// (2b) and (2c): the exact makespan Algorithms 2+3 can realize for it.
+func (a Assignment) MinMakespan(in *Instance) int64 {
+	f := in.Family
+	vol := a.Volumes(in)
+	below := make([]int64, f.Len())
+	var T int64
+	for _, s := range f.BottomUp() {
+		below[s] = vol[s]
+		for _, c := range f.Children(s) {
+			below[s] += below[c]
+		}
+		if need := (below[s] + int64(f.Size(s)) - 1) / int64(f.Size(s)); need > T {
+			T = need
+		}
+	}
+	for j, s := range a {
+		if p := in.Proc[j][s]; p > T {
+			T = p
+		}
+	}
+	return T
+}
+
+// Requirementor describes the demands an assignment induces, in the shape
+// the schedule validator consumes: job j needs P_j(a[j]) units on the
+// machines of set a[j].
+func (a Assignment) Requirement(in *Instance) ([]int64, [][]bool) {
+	demand := make([]int64, len(a))
+	allowed := make([][]bool, len(a))
+	for j, s := range a {
+		demand[j] = in.Proc[j][s]
+		row := make([]bool, in.M())
+		for _, i := range in.Family.Machines(s) {
+			row[i] = true
+		}
+		allowed[j] = row
+	}
+	return demand, allowed
+}

@@ -1,0 +1,270 @@
+// Package relax builds and solves the fractional relaxations of the
+// paper's assignment ILPs (Section V): the decision form (IP-3) for a fixed
+// makespan T with the pruned variable set R = {(α,j) : p_αj ≤ T}, the
+// binary search for the minimal T with a feasible relaxation, and Lemma
+// V.1's push-down transformation that moves all fractional mass onto the
+// singleton sets of the laminar family.
+package relax
+
+import (
+	"fmt"
+	"math"
+
+	"hsp/internal/lp"
+	"hsp/internal/model"
+)
+
+// Fractional is a fractional assignment: X[s][j] is the share of job j on
+// set s. A feasible Fractional has unit row sums per job over admissible
+// pairs with p_αj ≤ T.
+type Fractional struct {
+	X [][]float64 // [set][job]
+}
+
+// NewFractional returns a zero fractional assignment shaped for in.
+func NewFractional(in *model.Instance) *Fractional {
+	x := make([][]float64, in.Family.Len())
+	for s := range x {
+		x[s] = make([]float64, in.N())
+	}
+	return &Fractional{X: x}
+}
+
+// Slack computes slack(α, x) = |α|·T − Σ_j Σ_{β⊆α} p_βj · x_βj.
+func (fr *Fractional) Slack(in *model.Instance, set int, T int64) float64 {
+	f := in.Family
+	slack := float64(f.Size(set)) * float64(T)
+	for _, b := range f.SubsetIDs(set) {
+		for j, v := range fr.X[b] {
+			if v > 0 {
+				slack -= float64(in.Proc[j][b]) * v
+			}
+		}
+	}
+	return slack
+}
+
+// Check verifies feasibility of the fractional solution for (IP-3) at T
+// within tolerance tol: unit assignment rows, nonnegativity, support inside
+// R, and nonnegative slacks.
+func (fr *Fractional) Check(in *model.Instance, T int64, tol float64) error {
+	f := in.Family
+	for j := 0; j < in.N(); j++ {
+		sum := 0.0
+		for s := 0; s < f.Len(); s++ {
+			v := fr.X[s][j]
+			if v < -tol {
+				return fmt.Errorf("relax: x[%d][%d] = %g negative", s, j, v)
+			}
+			if v > tol && in.Proc[j][s] > T {
+				return fmt.Errorf("relax: x[%d][%d] = %g on pair outside R (p=%d > T=%d)", s, j, v, in.Proc[j][s], T)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > tol {
+			return fmt.Errorf("relax: job %d assignment sum %g ≠ 1", j, sum)
+		}
+	}
+	for s := 0; s < f.Len(); s++ {
+		if sl := fr.Slack(in, s, T); sl < -tol*float64(f.Size(s))*float64(T+1) {
+			return fmt.Errorf("relax: set %d slack %g negative", s, sl)
+		}
+	}
+	return nil
+}
+
+// SingletonOnly reports whether all mass beyond tol sits on singleton sets.
+func (fr *Fractional) SingletonOnly(in *model.Instance, tol float64) bool {
+	for s := range fr.X {
+		if in.Family.IsSingleton(s) {
+			continue
+		}
+		for _, v := range fr.X[s] {
+			if v > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BuildFeasibility constructs the LP relaxation of (IP-3) for makespan T.
+// It returns the problem plus the (set, job) pair of each LP variable.
+func BuildFeasibility(in *model.Instance, T int64) (*lp.Problem, [][2]int) {
+	f := in.Family
+	var pairs [][2]int
+	index := make(map[[2]int]int)
+	for s := 0; s < f.Len(); s++ {
+		for j := 0; j < in.N(); j++ {
+			if in.Proc[j][s] <= T {
+				index[[2]int{s, j}] = len(pairs)
+				pairs = append(pairs, [2]int{s, j})
+			}
+		}
+	}
+	p := lp.NewProblem(len(pairs))
+	// (3): Σ_α x_αj = 1 for every job.
+	for j := 0; j < in.N(); j++ {
+		var idx []int
+		var val []float64
+		for s := 0; s < f.Len(); s++ {
+			if v, ok := index[[2]int{s, j}]; ok {
+				idx = append(idx, v)
+				val = append(val, 1)
+			}
+		}
+		p.MustAddConstraint(idx, val, lp.EQ, 1)
+	}
+	// (3a): Σ_j Σ_{β⊆α} p_βj x_βj ≤ |α|·T for every set α.
+	for s := 0; s < f.Len(); s++ {
+		var idx []int
+		var val []float64
+		for _, b := range f.SubsetIDs(s) {
+			for j := 0; j < in.N(); j++ {
+				if v, ok := index[[2]int{b, j}]; ok {
+					idx = append(idx, v)
+					val = append(val, float64(in.Proc[j][b]))
+				}
+			}
+		}
+		p.MustAddConstraint(idx, val, lp.LE, float64(f.Size(s))*float64(T))
+	}
+	return p, pairs
+}
+
+// Feasible solves the LP relaxation of (IP-3) at T and returns the
+// fractional solution when feasible.
+func Feasible(in *model.Instance, T int64) (bool, *Fractional, error) {
+	// Fast negative: a job whose cheapest set exceeds T has no variable.
+	for j := 0; j < in.N(); j++ {
+		if v, _ := in.MinProc(j); v > T {
+			return false, nil, nil
+		}
+	}
+	p, pairs := BuildFeasibility(in, T)
+	ok, x, err := p.Feasible()
+	if err != nil {
+		return false, nil, fmt.Errorf("relax: LP at T=%d: %w", T, err)
+	}
+	if !ok {
+		return false, nil, nil
+	}
+	fr := NewFractional(in)
+	for k, pr := range pairs {
+		fr.X[pr[0]][pr[1]] = x[k]
+	}
+	return true, fr, nil
+}
+
+// MinFeasibleT binary-searches the minimal integer T for which the LP
+// relaxation of (IP-3) is feasible. T* is a lower bound on the optimal
+// integral makespan. The returned Fractional is a feasible solution at T*.
+func MinFeasibleT(in *model.Instance) (int64, *Fractional, error) {
+	lo := in.LowerBoundSimple()
+	if lo < 1 {
+		lo = 1
+	}
+	hi := in.TrivialUpperBound()
+	if hi >= model.Infinity {
+		return 0, nil, fmt.Errorf("relax: some job has no admissible set")
+	}
+	if hi < lo {
+		hi = lo
+	}
+	var best *Fractional
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		ok, fr, err := Feasible(in, mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			hi = mid
+			best = fr
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		ok, fr, err := Feasible(in, lo)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !ok {
+			return 0, nil, fmt.Errorf("relax: LP infeasible even at the trivial upper bound %d", lo)
+		}
+		best = fr
+	} else {
+		// best may correspond to a larger T than lo if the last probe
+		// failed; re-solve at the final T when necessary.
+		ok, fr, err := Feasible(in, lo)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !ok {
+			return 0, nil, fmt.Errorf("relax: binary search landed on infeasible T=%d", lo)
+		}
+		best = fr
+	}
+	return lo, best, nil
+}
+
+// PushDown applies Lemma V.1 repeatedly: it returns a feasible fractional
+// solution at the same T whose support lies only on singleton sets. It
+// requires every non-leaf set's children to cover it, which holds after
+// model.Instance.WithSingletons.
+func PushDown(in *model.Instance, T int64, fr *Fractional) (*Fractional, error) {
+	f := in.Family
+	if !f.ChildrenCover() {
+		return nil, fmt.Errorf("relax: children do not cover every set; call WithSingletons first")
+	}
+	out := NewFractional(in)
+	for s := range fr.X {
+		copy(out.X[s], fr.X[s])
+	}
+	for _, eta := range f.TopDown() {
+		if f.IsSingleton(eta) {
+			continue
+		}
+		// Total mass to move off η.
+		var moving bool
+		for _, v := range out.X[eta] {
+			if v > 0 {
+				moving = true
+				break
+			}
+		}
+		if !moving {
+			continue
+		}
+		children := f.Children(eta)
+		slacks := make([]float64, len(children))
+		total := 0.0
+		for k, c := range children {
+			sl := out.Slack(in, c, T)
+			if sl < 0 {
+				sl = 0
+			}
+			slacks[k] = sl
+			total += sl
+		}
+		for j, v := range out.X[eta] {
+			if v <= 0 {
+				out.X[eta][j] = 0
+				continue
+			}
+			if total > 1e-12 {
+				for k, c := range children {
+					out.X[c][j] += v * slacks[k] / total
+				}
+			} else {
+				// Zero slack below η: by inequality (5) the moved volume is
+				// (numerically) zero, so park the mass on the first child to
+				// preserve the assignment row.
+				out.X[children[0]][j] += v
+			}
+			out.X[eta][j] = 0
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// scheduleJSON is the wire form of a Schedule (cmd/hsched -json).
+type scheduleJSON struct {
+	Jobs      int        `json:"jobs"`
+	Machines  int        `json:"machines"`
+	Horizon   int64      `json:"horizon"`
+	Intervals []Interval `json:"intervals"`
+}
+
+// EncodeJSON writes the schedule as JSON.
+func EncodeJSON(w io.Writer, s *Schedule) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(scheduleJSON{
+		Jobs:      s.NumJobs,
+		Machines:  s.NumMachines,
+		Horizon:   s.Horizon,
+		Intervals: s.Intervals,
+	})
+}
+
+// DecodeJSON parses a schedule from JSON, checking structural sanity
+// (dimensions positive, intervals within range and well-formed).
+func DecodeJSON(r io.Reader) (*Schedule, error) {
+	var sj scheduleJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, fmt.Errorf("sched: decoding schedule: %w", err)
+	}
+	if sj.Jobs < 0 || sj.Machines < 0 || sj.Horizon < 0 {
+		return nil, fmt.Errorf("sched: negative dimensions in schedule")
+	}
+	s := New(sj.Jobs, sj.Machines, sj.Horizon)
+	for _, iv := range sj.Intervals {
+		if iv.Job < 0 || iv.Job >= sj.Jobs || iv.Machine < 0 || iv.Machine >= sj.Machines {
+			return nil, fmt.Errorf("sched: interval %+v out of range", iv)
+		}
+		if iv.Start < 0 || iv.End > sj.Horizon || iv.Start >= iv.End {
+			return nil, fmt.Errorf("sched: interval %+v malformed", iv)
+		}
+		s.Intervals = append(s.Intervals, iv)
+	}
+	return s, nil
+}

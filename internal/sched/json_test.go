@@ -1,0 +1,43 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := New(2, 2, 10)
+	s.Add(0, 0, 0, 4)
+	s.Add(1, 1, 2, 9)
+	s.Add(0, 1, 9, 10)
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumJobs != 2 || back.NumMachines != 2 || back.Horizon != 10 {
+		t.Fatalf("dimensions changed: %+v", back)
+	}
+	if len(back.Intervals) != 3 || back.Intervals[0] != s.Intervals[0] {
+		t.Fatalf("intervals changed: %+v", back.Intervals)
+	}
+}
+
+func TestScheduleJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"jobs":-1,"machines":1,"horizon":5,"intervals":[]}`,
+		`{"jobs":1,"machines":1,"horizon":5,"intervals":[{"Job":3,"Machine":0,"Start":0,"End":1}]}`,
+		`{"jobs":1,"machines":1,"horizon":5,"intervals":[{"Job":0,"Machine":0,"Start":4,"End":2}]}`,
+		`{"jobs":1,"machines":1,"horizon":5,"intervals":[{"Job":0,"Machine":0,"Start":0,"End":9}]}`,
+	}
+	for i, c := range cases {
+		if _, err := DecodeJSON(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted: %s", i, c)
+		}
+	}
+}

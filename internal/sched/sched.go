@@ -1,0 +1,290 @@
+// Package sched defines the schedule representation shared by every
+// scheduler in this repository, together with an exact validator for the
+// paper's notion of a valid schedule (Section II): jobs run only on allowed
+// machines, a job is never processed in parallel with itself, machines run
+// at most one job at a time, and every job receives exactly its required
+// processing time within [0, T]. Time is integral throughout.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a maximal run of one job on one machine during [Start, End).
+type Interval struct {
+	Job     int
+	Machine int
+	Start   int64
+	End     int64
+}
+
+// Schedule is a collection of intervals over machines 0..NumMachines-1 and
+// jobs 0..NumJobs-1 within the horizon [0, Horizon).
+type Schedule struct {
+	NumJobs     int
+	NumMachines int
+	Horizon     int64
+	Intervals   []Interval
+}
+
+// New returns an empty schedule with the given dimensions.
+func New(numJobs, numMachines int, horizon int64) *Schedule {
+	return &Schedule{NumJobs: numJobs, NumMachines: numMachines, Horizon: horizon}
+}
+
+// Add appends the interval [start, end) of job on machine. Empty intervals
+// (start == end) are ignored.
+func (s *Schedule) Add(job, machine int, start, end int64) {
+	if start == end {
+		return
+	}
+	s.Intervals = append(s.Intervals, Interval{Job: job, Machine: machine, Start: start, End: end})
+}
+
+// AddWrapped schedules length units of job on machine starting at start on
+// the circular timeline [0, T): the run wraps around to 0 when it crosses T,
+// producing up to two intervals (the wrap-around rule of Algorithms 1 and
+// 3). start must lie in [0, T) and length in [0, T].
+func (s *Schedule) AddWrapped(job, machine int, start, length, T int64) {
+	if length == 0 {
+		return
+	}
+	if start+length <= T {
+		s.Add(job, machine, start, start+length)
+		return
+	}
+	s.Add(job, machine, start, T)
+	s.Add(job, machine, 0, start+length-T)
+}
+
+// Makespan returns the maximum interval end, 0 for an empty schedule.
+func (s *Schedule) Makespan() int64 {
+	var mk int64
+	for _, iv := range s.Intervals {
+		if iv.End > mk {
+			mk = iv.End
+		}
+	}
+	return mk
+}
+
+// Normalize sorts intervals by (job, start, machine) and merges abutting
+// intervals of the same job on the same machine. It returns the receiver.
+func (s *Schedule) Normalize() *Schedule {
+	sort.Slice(s.Intervals, func(a, b int) bool {
+		x, y := s.Intervals[a], s.Intervals[b]
+		if x.Job != y.Job {
+			return x.Job < y.Job
+		}
+		if x.Start != y.Start {
+			return x.Start < y.Start
+		}
+		return x.Machine < y.Machine
+	})
+	out := s.Intervals[:0]
+	for _, iv := range s.Intervals {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.Job == iv.Job && last.Machine == iv.Machine && last.End == iv.Start {
+				last.End = iv.End
+				continue
+			}
+		}
+		out = append(out, iv)
+	}
+	s.Intervals = out
+	return s
+}
+
+// Requirement states what a valid schedule must deliver: Demand[j] units of
+// processing for job j, all inside machines where Allowed[j][i] is true.
+type Requirement struct {
+	Demand  []int64
+	Allowed [][]bool
+}
+
+// Validate checks the schedule against the paper's validity conditions and
+// returns a descriptive error for the first violation found.
+func (s *Schedule) Validate(req Requirement) error {
+	if len(req.Demand) != s.NumJobs || len(req.Allowed) != s.NumJobs {
+		return fmt.Errorf("sched: requirement dimensions (%d,%d) do not match %d jobs",
+			len(req.Demand), len(req.Allowed), s.NumJobs)
+	}
+	got := make([]int64, s.NumJobs)
+	for _, iv := range s.Intervals {
+		switch {
+		case iv.Job < 0 || iv.Job >= s.NumJobs:
+			return fmt.Errorf("sched: interval %+v references unknown job", iv)
+		case iv.Machine < 0 || iv.Machine >= s.NumMachines:
+			return fmt.Errorf("sched: interval %+v references unknown machine", iv)
+		case iv.Start < 0 || iv.End > s.Horizon || iv.Start >= iv.End:
+			return fmt.Errorf("sched: interval %+v outside horizon [0,%d) or empty", iv, s.Horizon)
+		case !req.Allowed[iv.Job][iv.Machine]:
+			return fmt.Errorf("sched: job %d scheduled on disallowed machine %d", iv.Job, iv.Machine)
+		}
+		got[iv.Job] += iv.End - iv.Start
+	}
+	for j, need := range req.Demand {
+		if got[j] != need {
+			return fmt.Errorf("sched: job %d received %d units, requires %d", j, got[j], need)
+		}
+	}
+	if err := s.checkOverlap(func(iv Interval) int { return iv.Machine }, "machine"); err != nil {
+		return err
+	}
+	return s.checkOverlap(func(iv Interval) int { return iv.Job }, "job")
+}
+
+// checkOverlap verifies that intervals grouped by the given key are
+// pairwise disjoint in time (machines: one job at a time; jobs: no parallel
+// processing of the same job).
+func (s *Schedule) checkOverlap(key func(Interval) int, kind string) error {
+	groups := map[int][]Interval{}
+	for _, iv := range s.Intervals {
+		groups[key(iv)] = append(groups[key(iv)], iv)
+	}
+	for k, ivs := range groups {
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].Start < ivs[b].Start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Start < ivs[i-1].End {
+				return fmt.Errorf("sched: %s %d has overlapping intervals %+v and %+v",
+					kind, k, ivs[i-1], ivs[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Stats aggregates preemption and migration counts (Proposition III.2).
+// A job that stops and later resumes on a different machine migrated; one
+// that stops and resumes on the same machine was preempted. Abutting
+// intervals on the same machine are one uninterrupted run.
+type Stats struct {
+	Migrations    int // resumptions on a different machine
+	Preemptions   int // resumptions on the same machine after a gap
+	PerJobPieces  []int
+	MigratingJobs int // jobs with at least one migration
+}
+
+// Stats computes migration/preemption counts from the schedule.
+func (s *Schedule) Stats() Stats {
+	byJob := make([][]Interval, s.NumJobs)
+	for _, iv := range s.Intervals {
+		byJob[iv.Job] = append(byJob[iv.Job], iv)
+	}
+	st := Stats{PerJobPieces: make([]int, s.NumJobs)}
+	for j, ivs := range byJob {
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].Start < ivs[b].Start })
+		// Merge abutting same-machine runs, then classify the joints.
+		var runs []Interval
+		for _, iv := range ivs {
+			if n := len(runs); n > 0 && runs[n-1].Machine == iv.Machine && runs[n-1].End == iv.Start {
+				runs[n-1].End = iv.End
+				continue
+			}
+			runs = append(runs, iv)
+		}
+		st.PerJobPieces[j] = len(runs)
+		migrated := false
+		for i := 1; i < len(runs); i++ {
+			if runs[i].Machine != runs[i-1].Machine {
+				st.Migrations++
+				migrated = true
+			} else {
+				st.Preemptions++
+			}
+		}
+		if migrated {
+			st.MigratingJobs++
+		}
+	}
+	return st
+}
+
+// CyclicStats computes the counts of Proposition III.2 on the circular
+// timeline [0, Horizon): a run that wraps from Horizon to 0 on the same
+// machine is a single execution interval (the wrap-around rule's view).
+// Migrations is the number of machine moves a job's state must make,
+// Σ_j (distinct machines of j − 1); Preemptions is the number of extra
+// service interruptions beyond those moves, Σ_j (cyclic pieces of j − 1)
+// minus Migrations.
+func (s *Schedule) CyclicStats() Stats {
+	byJob := make([][]Interval, s.NumJobs)
+	for _, iv := range s.Intervals {
+		byJob[iv.Job] = append(byJob[iv.Job], iv)
+	}
+	st := Stats{PerJobPieces: make([]int, s.NumJobs)}
+	for j, ivs := range byJob {
+		if len(ivs) == 0 {
+			continue
+		}
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].Start < ivs[b].Start })
+		var runs []Interval
+		for _, iv := range ivs {
+			if n := len(runs); n > 0 && runs[n-1].Machine == iv.Machine && runs[n-1].End == iv.Start {
+				runs[n-1].End = iv.End
+				continue
+			}
+			runs = append(runs, iv)
+		}
+		// Cyclic merge: a run ending at the horizon continuing at 0 on the
+		// same machine is one piece.
+		if n := len(runs); n > 1 && runs[0].Start == 0 && runs[n-1].End == s.Horizon &&
+			runs[0].Machine == runs[n-1].Machine {
+			runs = runs[1:]
+		}
+		machines := map[int]bool{}
+		for _, r := range runs {
+			machines[r.Machine] = true
+		}
+		st.PerJobPieces[j] = len(runs)
+		mig := len(machines) - 1
+		st.Migrations += mig
+		st.Preemptions += len(runs) - 1 - mig
+		if mig > 0 {
+			st.MigratingJobs++
+		}
+	}
+	return st
+}
+
+// MachineLoad returns the total busy time of each machine.
+func (s *Schedule) MachineLoad() []int64 {
+	load := make([]int64, s.NumMachines)
+	for _, iv := range s.Intervals {
+		load[iv.Machine] += iv.End - iv.Start
+	}
+	return load
+}
+
+// Gantt renders a compact textual Gantt chart, one machine per line, using
+// the given time step per character cell; jobs print as letters (a-z,
+// repeating). Intended for examples and debugging, not parsing.
+func (s *Schedule) Gantt(step int64) string {
+	if step <= 0 {
+		step = 1
+	}
+	width := int((s.Makespan() + step - 1) / step)
+	rows := make([][]byte, s.NumMachines)
+	for i := range rows {
+		rows[i] = make([]byte, width)
+		for k := range rows[i] {
+			rows[i][k] = '.'
+		}
+	}
+	for _, iv := range s.Intervals {
+		c := byte('a' + iv.Job%26)
+		for t := iv.Start; t < iv.End; t += step {
+			cell := int(t / step)
+			if cell < width {
+				rows[iv.Machine][cell] = c
+			}
+		}
+	}
+	out := ""
+	for i, r := range rows {
+		out += fmt.Sprintf("m%-2d |%s|\n", i, string(r))
+	}
+	return out
+}

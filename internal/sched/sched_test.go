@@ -1,0 +1,217 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func allowAll(jobs, machines int) [][]bool {
+	a := make([][]bool, jobs)
+	for j := range a {
+		a[j] = make([]bool, machines)
+		for i := range a[j] {
+			a[j][i] = true
+		}
+	}
+	return a
+}
+
+func TestAddWrapped(t *testing.T) {
+	s := New(1, 1, 10)
+	s.AddWrapped(0, 0, 7, 5, 10) // wraps: [7,10) + [0,2)
+	if len(s.Intervals) != 2 {
+		t.Fatalf("got %d intervals, want 2", len(s.Intervals))
+	}
+	var total int64
+	for _, iv := range s.Intervals {
+		total += iv.End - iv.Start
+	}
+	if total != 5 {
+		t.Fatalf("wrapped length = %d, want 5", total)
+	}
+	s2 := New(1, 1, 10)
+	s2.AddWrapped(0, 0, 2, 5, 10) // no wrap
+	if len(s2.Intervals) != 1 || s2.Intervals[0] != (Interval{0, 0, 2, 7}) {
+		t.Fatalf("got %+v", s2.Intervals)
+	}
+	s2.AddWrapped(0, 0, 9, 0, 10) // zero length ignored
+	if len(s2.Intervals) != 1 {
+		t.Fatalf("zero-length interval added")
+	}
+}
+
+func TestValidateHappyPath(t *testing.T) {
+	// The schedule from Example III.1 of the paper.
+	s := New(3, 2, 2)
+	s.Add(0, 0, 1, 2) // job 1 on machine 1 during [1,2)
+	s.Add(1, 1, 0, 1) // job 2 on machine 2 during [0,1)
+	s.Add(2, 0, 0, 1) // job 3 on machine 1 during [0,1)
+	s.Add(2, 1, 1, 2) // then migrated to machine 2 during [1,2)
+	req := Requirement{Demand: []int64{1, 1, 2}, Allowed: allowAll(3, 2)}
+	if err := s.Validate(req); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	st := s.Stats()
+	if st.Migrations != 1 || st.Preemptions != 0 || st.MigratingJobs != 1 {
+		t.Fatalf("stats = %+v, want 1 migration", st)
+	}
+	if s.Makespan() != 2 {
+		t.Fatalf("makespan = %d, want 2", s.Makespan())
+	}
+}
+
+func TestValidateDetectsViolations(t *testing.T) {
+	base := func() (*Schedule, Requirement) {
+		s := New(2, 2, 10)
+		s.Add(0, 0, 0, 5)
+		s.Add(1, 1, 0, 5)
+		return s, Requirement{Demand: []int64{5, 5}, Allowed: allowAll(2, 2)}
+	}
+
+	t.Run("machine overlap", func(t *testing.T) {
+		s, req := base()
+		s.Add(1, 0, 4, 9)
+		req.Demand[1] = 10
+		if err := s.Validate(req); err == nil || !strings.Contains(err.Error(), "machine") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("job self-parallelism", func(t *testing.T) {
+		s, req := base()
+		s.Add(0, 1, 4, 9)
+		req.Demand[0] = 10
+		req.Demand[1] = 0
+		s.Intervals = s.Intervals[:1+1] // keep job0 twice? rebuild cleanly below
+		s = New(1, 2, 10)
+		s.Add(0, 0, 0, 5)
+		s.Add(0, 1, 3, 8)
+		req = Requirement{Demand: []int64{10}, Allowed: allowAll(1, 2)}
+		if err := s.Validate(req); err == nil || !strings.Contains(err.Error(), "job") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("wrong demand", func(t *testing.T) {
+		s, req := base()
+		req.Demand[0] = 6
+		if err := s.Validate(req); err == nil || !strings.Contains(err.Error(), "requires") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("disallowed machine", func(t *testing.T) {
+		s, req := base()
+		req.Allowed[0][0] = false
+		if err := s.Validate(req); err == nil || !strings.Contains(err.Error(), "disallowed") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("outside horizon", func(t *testing.T) {
+		s, req := base()
+		s.Add(0, 0, 8, 12)
+		req.Demand[0] = 9
+		if err := s.Validate(req); err == nil || !strings.Contains(err.Error(), "horizon") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("unknown job", func(t *testing.T) {
+		s, req := base()
+		s.Add(7, 0, 5, 6)
+		if err := s.Validate(req); err == nil || !strings.Contains(err.Error(), "unknown job") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("unknown machine", func(t *testing.T) {
+		s, req := base()
+		s.Add(0, 9, 5, 6)
+		if err := s.Validate(req); err == nil || !strings.Contains(err.Error(), "unknown machine") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("dimension mismatch", func(t *testing.T) {
+		s, _ := base()
+		if err := s.Validate(Requirement{Demand: []int64{1}, Allowed: allowAll(1, 2)}); err == nil {
+			t.Fatalf("dimension mismatch accepted")
+		}
+	})
+}
+
+func TestNormalizeMerges(t *testing.T) {
+	s := New(1, 1, 10)
+	s.Add(0, 0, 3, 5)
+	s.Add(0, 0, 0, 3)
+	s.Add(0, 0, 7, 9)
+	s.Normalize()
+	if len(s.Intervals) != 2 {
+		t.Fatalf("normalized to %d intervals, want 2: %+v", len(s.Intervals), s.Intervals)
+	}
+	if s.Intervals[0] != (Interval{0, 0, 0, 5}) {
+		t.Fatalf("merge failed: %+v", s.Intervals[0])
+	}
+}
+
+func TestStatsClassifiesJoints(t *testing.T) {
+	s := New(1, 3, 100)
+	s.Add(0, 0, 0, 5)   // run 1
+	s.Add(0, 0, 10, 15) // preemption (same machine, gap)
+	s.Add(0, 1, 20, 25) // migration
+	s.Add(0, 1, 25, 30) // abuts: same run
+	s.Add(0, 2, 40, 45) // migration
+	st := s.Stats()
+	if st.Migrations != 2 || st.Preemptions != 1 {
+		t.Fatalf("stats = %+v, want 2 migrations 1 preemption", st)
+	}
+	if st.PerJobPieces[0] != 4 {
+		t.Fatalf("pieces = %d, want 4", st.PerJobPieces[0])
+	}
+}
+
+func TestMachineLoadAndGantt(t *testing.T) {
+	s := New(2, 2, 10)
+	s.Add(0, 0, 0, 4)
+	s.Add(1, 1, 2, 10)
+	load := s.MachineLoad()
+	if load[0] != 4 || load[1] != 8 {
+		t.Fatalf("load = %v", load)
+	}
+	g := s.Gantt(1)
+	if !strings.Contains(g, "m0") || !strings.Contains(g, "aaaa") {
+		t.Fatalf("gantt:\n%s", g)
+	}
+	if s.Gantt(0) == "" { // step 0 falls back to 1
+		t.Fatal("empty gantt")
+	}
+}
+
+// Property: AddWrapped always lays out exactly `length` units, within
+// horizon, in at most two intervals, and never overlaps itself.
+func TestAddWrappedProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		T := int64(1 + rng.Intn(50))
+		start := int64(rng.Intn(int(T)))
+		length := int64(rng.Intn(int(T) + 1))
+		s := New(1, 1, T)
+		s.AddWrapped(0, 0, start, length, T)
+		var total int64
+		for _, iv := range s.Intervals {
+			if iv.Start < 0 || iv.End > T || iv.Start >= iv.End {
+				return false
+			}
+			total += iv.End - iv.Start
+		}
+		if total != length {
+			return false
+		}
+		if len(s.Intervals) == 2 {
+			a, b := s.Intervals[0], s.Intervals[1]
+			if a.Start < b.End && b.Start < a.End { // overlap
+				return false
+			}
+		}
+		return len(s.Intervals) <= 2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

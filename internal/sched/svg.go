@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteSVG renders the schedule as a standalone SVG Gantt chart: one lane
+// per machine, one rectangle per interval, colored per job, with a time
+// axis. Pure stdlib; intended for reports and debugging.
+func (s *Schedule) WriteSVG(w io.Writer) error {
+	const (
+		laneH   = 28
+		laneGap = 6
+		leftPad = 56
+		topPad  = 24
+		width   = 960
+	)
+	mk := s.Makespan()
+	if mk == 0 {
+		mk = 1
+	}
+	scale := float64(width-leftPad-16) / float64(mk)
+	height := topPad + s.NumMachines*(laneH+laneGap) + 32
+
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	pr(`<rect width="100%%" height="100%%" fill="white"/>` + "\n")
+
+	// Machine lanes and labels.
+	for i := 0; i < s.NumMachines; i++ {
+		y := topPad + i*(laneH+laneGap)
+		pr(`<text x="8" y="%d">m%d</text>`+"\n", y+laneH/2+4, i)
+		pr(`<rect x="%d" y="%d" width="%d" height="%d" fill="#f2f2f2"/>`+"\n",
+			leftPad, y, width-leftPad-16, laneH)
+	}
+
+	// Intervals, colored by job via an HSL walk (golden-angle spacing).
+	ivs := append([]Interval(nil), s.Intervals...)
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].Start < ivs[b].Start })
+	for _, iv := range ivs {
+		x := leftPad + int(float64(iv.Start)*scale)
+		wdt := int(float64(iv.End-iv.Start) * scale)
+		if wdt < 1 {
+			wdt = 1
+		}
+		y := topPad + iv.Machine*(laneH+laneGap)
+		hue := (iv.Job * 137) % 360
+		pr(`<rect x="%d" y="%d" width="%d" height="%d" fill="hsl(%d,65%%,62%%)" stroke="#333" stroke-width="0.5"/>`+"\n",
+			x, y, wdt, laneH, hue)
+		if wdt >= 14 {
+			pr(`<text x="%d" y="%d">j%d</text>`+"\n", x+3, y+laneH/2+4, iv.Job)
+		}
+	}
+
+	// Time axis with ~8 ticks.
+	axisY := topPad + s.NumMachines*(laneH+laneGap) + 12
+	step := mk / 8
+	if step < 1 {
+		step = 1
+	}
+	for t := int64(0); t <= mk; t += step {
+		x := leftPad + int(float64(t)*scale)
+		pr(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#888"/>`+"\n", x, axisY-6, x, axisY-2)
+		pr(`<text x="%d" y="%d">%d</text>`+"\n", x-4, axisY+10, t)
+	}
+	pr(`</svg>` + "\n")
+	return err
+}
+
+// Completions returns each job's completion time (0 for jobs with no
+// intervals) and the mean completion time.
+func (s *Schedule) Completions() (perJob []int64, mean float64) {
+	perJob = make([]int64, s.NumJobs)
+	for _, iv := range s.Intervals {
+		if iv.End > perJob[iv.Job] {
+			perJob[iv.Job] = iv.End
+		}
+	}
+	if s.NumJobs == 0 {
+		return perJob, 0
+	}
+	var sum int64
+	for _, c := range perJob {
+		sum += c
+	}
+	return perJob, float64(sum) / float64(s.NumJobs)
+}

@@ -1,0 +1,49 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVG(t *testing.T) {
+	s := New(3, 2, 20)
+	s.Add(0, 0, 0, 10)
+	s.Add(1, 1, 0, 5)
+	s.Add(2, 1, 5, 20)
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "m0", "m1", "j0", "hsl("} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, out[:200])
+		}
+	}
+	// Empty schedule still renders a valid document.
+	var empty bytes.Buffer
+	if err := New(0, 1, 0).WriteSVG(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "</svg>") {
+		t.Fatal("empty schedule produced invalid SVG")
+	}
+}
+
+func TestCompletions(t *testing.T) {
+	s := New(3, 2, 20)
+	s.Add(0, 0, 0, 10)
+	s.Add(1, 1, 0, 5)
+	s.Add(1, 0, 12, 14)
+	per, mean := s.Completions()
+	if per[0] != 10 || per[1] != 14 || per[2] != 0 {
+		t.Fatalf("completions = %v", per)
+	}
+	if mean != 8 {
+		t.Fatalf("mean = %v, want 8", mean)
+	}
+	if per2, m := New(0, 1, 5).Completions(); len(per2) != 0 || m != 0 {
+		t.Fatalf("empty completions: %v %v", per2, m)
+	}
+}

@@ -1,0 +1,173 @@
+// Package semipart implements Section III of the paper: semi-partitioned
+// scheduling, where the admissible family is A = {M, {1}, ..., {m}} and
+// each job is either pinned to one machine or executed globally. Algorithm
+// 1 (the wrap-around scheduler) turns any feasible solution (x, T) of the
+// assignment ILP (IP-1) into a valid schedule with makespan T (Theorem
+// III.1), incurring at most m-1 migrations and 2m-2 preemptions+migrations
+// (Proposition III.2).
+package semipart
+
+import (
+	"fmt"
+
+	"hsp/internal/model"
+	"hsp/internal/sched"
+)
+
+// CheckFamily verifies that the instance's family has the semi-partitioned
+// shape: one root covering all machines plus every singleton.
+func CheckFamily(in *model.Instance) error {
+	f := in.Family
+	if !f.IsTree() {
+		return fmt.Errorf("semipart: family is not a tree over all machines")
+	}
+	if !f.HasAllSingletons() {
+		return fmt.Errorf("semipart: family lacks some singleton sets")
+	}
+	if f.Len() != f.M()+1 {
+		return fmt.Errorf("semipart: family has %d sets; semi-partitioned needs exactly %d", f.Len(), f.M()+1)
+	}
+	return nil
+}
+
+// Schedule implements Algorithm 1: given an assignment satisfying (IP-1)
+// with makespan bound T, it produces a valid schedule in [0, T). Global
+// volume is laid on machines by the wrap-around rule; local jobs fill the
+// remaining free time of their machine.
+func Schedule(in *model.Instance, a model.Assignment, T int64) (*sched.Schedule, error) {
+	if err := CheckFamily(in); err != nil {
+		return nil, err
+	}
+	if err := a.Check(in, T); err != nil {
+		return nil, err
+	}
+	f := in.Family
+	m := f.M()
+	root := f.Roots()[0]
+
+	// Split jobs into global and local, accumulating local machine loads.
+	type piece struct {
+		job int
+		len int64
+	}
+	var globals []piece
+	localJobs := make([][]piece, m)
+	localLoad := make([]int64, m)
+	var globalVolume int64
+	for j, s := range a {
+		p := in.Proc[j][s]
+		if s == root {
+			if p > 0 {
+				globals = append(globals, piece{j, p})
+				globalVolume += p
+			}
+			continue
+		}
+		i := f.Machines(s)[0]
+		if p > 0 {
+			localJobs[i] = append(localJobs[i], piece{j, p})
+			localLoad[i] += p
+		}
+	}
+
+	out := sched.New(in.N(), m, T)
+	globalEnd := make([]int64, m) // where each machine's global arc ends
+
+	// Lines 3-8 of Algorithm 1: distribute the global volume over machines
+	// in index order; machine i accepts δ = min(V, T - localLoad(i)) units
+	// in the wrap-around interval [t, t+δ mod T).
+	t := int64(0)
+	v := globalVolume
+	gi := 0         // next global piece
+	var gused int64 // units of globals[gi] already placed
+	for i := 0; i < m && v > 0; i++ {
+		delta := T - localLoad[i]
+		if delta > v {
+			delta = v
+		}
+		if delta <= 0 {
+			continue
+		}
+		// Consume global pieces into this machine's block.
+		off := int64(0)
+		for off < delta {
+			pc := globals[gi]
+			u := pc.len - gused
+			if u > delta-off {
+				u = delta - off
+			}
+			out.AddWrapped(pc.job, i, (t+off)%T, u, T)
+			off += u
+			gused += u
+			if gused == pc.len {
+				gi++
+				gused = 0
+			}
+		}
+		t = (t + delta) % T
+		globalEnd[i] = t
+		v -= delta
+	}
+	if v > 0 {
+		return nil, fmt.Errorf("semipart: %d units of global volume left unplaced; constraint (1b) violated", v)
+	}
+
+	// Lines 9-10: local jobs fill the free time of their machine. The free
+	// time is the circular complement of the machine's single global arc,
+	// so filling starts where the arc ends and wraps around; this keeps
+	// every local job in one circular piece (at most one preemption each in
+	// wall-clock time, at the horizon cut), which is what gives Proposition
+	// III.2 its 2m-2 bound.
+	for i := 0; i < m; i++ {
+		cursor := globalEnd[i]
+		for _, pc := range localJobs[i] {
+			out.AddWrapped(pc.job, i, cursor, pc.len, T)
+			cursor = (cursor + pc.len) % T
+		}
+	}
+	return out.Normalize(), nil
+}
+
+// GlobalAssignment returns the assignment that runs every job globally,
+// the A = {M} special case (preemptive identical machines, McNaughton).
+func GlobalAssignment(in *model.Instance) (model.Assignment, error) {
+	if err := CheckFamily(in); err != nil {
+		return nil, err
+	}
+	root := in.Family.Roots()[0]
+	a := make(model.Assignment, in.N())
+	for j := range a {
+		if !in.Admissible(j, root) {
+			return nil, fmt.Errorf("semipart: job %d cannot run globally", j)
+		}
+		a[j] = root
+	}
+	return a, nil
+}
+
+// McNaughtonOpt returns the optimal preemptive makespan for running all
+// jobs globally: max(max_j p_j, ceil(Σ p_j / m)) (McNaughton's theorem,
+// the A = {M} case of the model).
+func McNaughtonOpt(in *model.Instance) (int64, error) {
+	if err := CheckFamily(in); err != nil {
+		return 0, err
+	}
+	root := in.Family.Roots()[0]
+	var maxP, total int64
+	for j := 0; j < in.N(); j++ {
+		p := in.Proc[j][root]
+		if p >= model.Infinity {
+			return 0, fmt.Errorf("semipart: job %d cannot run globally", j)
+		}
+		if p > maxP {
+			maxP = p
+		}
+		total += p
+	}
+	m := int64(in.M())
+	t := (total + m - 1) / m
+	if maxP > t {
+		t = maxP
+	}
+	return t, nil
+}

@@ -1,0 +1,236 @@
+package semipart
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsp/internal/laminar"
+	"hsp/internal/model"
+	"hsp/internal/sched"
+)
+
+// validate runs the schedule validator for an assignment-induced requirement.
+func validate(t *testing.T, in *model.Instance, a model.Assignment, s *sched.Schedule) {
+	t.Helper()
+	demand, allowed := a.Requirement(in)
+	if err := s.Validate(sched.Requirement{Demand: demand, Allowed: allowed}); err != nil {
+		t.Fatalf("invalid schedule: %v\n%s", err, s.Gantt(1))
+	}
+}
+
+func TestExampleIII1(t *testing.T) {
+	// Example III.1: the optimal integral solution has T = 2 with jobs 1,2
+	// local and job 3 global; Algorithm 1 must realize makespan 2.
+	in := model.ExampleII1()
+	f := in.Family
+	a := model.Assignment{f.Singleton(0), f.Singleton(1), f.Roots()[0]}
+	s, err := Schedule(in, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate(t, in, a, s)
+	if mk := s.Makespan(); mk != 2 {
+		t.Fatalf("makespan = %d, want 2", mk)
+	}
+	st := s.Stats()
+	if st.Migrations > 1 {
+		t.Fatalf("migrations = %d, want ≤ 1 on two machines", st.Migrations)
+	}
+}
+
+func TestScheduleRejectsBadInputs(t *testing.T) {
+	in := model.ExampleII1()
+	f := in.Family
+	a := model.Assignment{f.Singleton(0), f.Singleton(1), f.Roots()[0]}
+	if _, err := Schedule(in, a, 1); err == nil {
+		t.Fatal("T=1 accepted; job 3 needs 2 units")
+	}
+	// Non-semi-partitioned family.
+	cl, _ := laminar.Clustered(2, 2)
+	in2 := model.New(cl)
+	in2.AddJob(make([]int64, cl.Len()))
+	if _, err := Schedule(in2, model.Assignment{0}, 10); err == nil {
+		t.Fatal("clustered family accepted by semi-partitioned scheduler")
+	}
+}
+
+func TestGlobalOnlyEqualsMcNaughton(t *testing.T) {
+	// With every job global, Algorithm 1 is exactly McNaughton's wrap-around
+	// rule: the optimal preemptive makespan must be achieved.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(20)
+		f := laminar.SemiPartitioned(m)
+		in := model.New(f)
+		root := f.Roots()[0]
+		for j := 0; j < n; j++ {
+			p := int64(1 + rng.Intn(30))
+			proc := make([]int64, f.Len())
+			for s := range proc {
+				proc[s] = p
+			}
+			_ = proc[root]
+			in.AddJob(proc)
+		}
+		opt, err := McNaughtonOpt(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := GlobalAssignment(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Schedule(in, a, opt)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		validate(t, in, a, s)
+		if s.Makespan() > opt {
+			t.Fatalf("makespan %d exceeds McNaughton optimum %d", s.Makespan(), opt)
+		}
+		// One unit less must be rejected unless opt is forced by a single job.
+		if opt > in.LowerBoundSimple() {
+			if _, err := Schedule(in, a, opt-1); err == nil {
+				t.Fatalf("trial %d: T = opt-1 accepted", trial)
+			}
+		}
+	}
+}
+
+// randomFeasible generates a random semi-partitioned instance plus an
+// assignment and the smallest T for which the assignment satisfies (IP-1).
+func randomFeasible(rng *rand.Rand) (*model.Instance, model.Assignment, int64) {
+	m := 2 + rng.Intn(8)
+	n := 1 + rng.Intn(24)
+	f := laminar.SemiPartitioned(m)
+	in := model.New(f)
+	root := f.Roots()[0]
+	a := make(model.Assignment, n)
+	for j := 0; j < n; j++ {
+		base := int64(1 + rng.Intn(40))
+		proc := make([]int64, f.Len())
+		for s := range proc {
+			if f.IsSingleton(s) {
+				proc[s] = base
+			} else {
+				proc[s] = base + int64(rng.Intn(5)) // global never cheaper
+			}
+		}
+		in.AddJob(proc)
+		if rng.Intn(3) == 0 {
+			a[j] = root
+		} else {
+			a[j] = f.Singleton(rng.Intn(m))
+		}
+	}
+	// Smallest T satisfying (1b)-(1d) for this fixed assignment.
+	vol := a.Volumes(in)
+	var total, T int64
+	for s, v := range vol {
+		total += v
+		if f.IsSingleton(s) && v > T {
+			T = v
+		}
+	}
+	if q := (total + int64(m) - 1) / int64(m); q > T {
+		T = q
+	}
+	for j, s := range a {
+		if p := in.Proc[j][s]; p > T {
+			T = p
+		}
+	}
+	// Singleton loads must leave room for globals too: grow T until the
+	// assignment checks out (bounded since Check is monotone in T).
+	for a.Check(in, T) != nil {
+		T++
+	}
+	return in, a, T
+}
+
+// Theorem III.1 as a property: Algorithm 1 produces a valid schedule for
+// every feasible (x, T).
+func TestTheoremIII1Property(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, a, T := randomFeasible(rng)
+		s, err := Schedule(in, a, T)
+		if err != nil {
+			t.Logf("seed %d: scheduler failed: %v", seed, err)
+			return false
+		}
+		demand, allowed := a.Requirement(in)
+		if err := s.Validate(sched.Requirement{Demand: demand, Allowed: allowed}); err != nil {
+			t.Logf("seed %d: invalid schedule: %v", seed, err)
+			return false
+		}
+		return s.Makespan() <= T
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Proposition III.2 as a property: at most m-1 migrations and 2m-2
+// preemptions+migrations, counted on the circular timeline (machine moves
+// and cyclic service interruptions); wall-clock resumptions also respect
+// the 2m-2 total.
+func TestPropositionIII2Property(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, a, T := randomFeasible(rng)
+		s, err := Schedule(in, a, T)
+		if err != nil {
+			return false
+		}
+		st := s.CyclicStats()
+		m := in.M()
+		if st.Migrations > m-1 {
+			t.Logf("seed %d: %d migrations > m-1 = %d", seed, st.Migrations, m-1)
+			return false
+		}
+		if st.Migrations+st.Preemptions > 2*m-2 {
+			t.Logf("seed %d: %d cyclic events > 2m-2 = %d", seed, st.Migrations+st.Preemptions, 2*m-2)
+			return false
+		}
+		wall := s.Stats()
+		if wall.Migrations+wall.Preemptions > 2*m-2 {
+			t.Logf("seed %d: %d wall-clock events > 2m-2 = %d", seed, wall.Migrations+wall.Preemptions, 2*m-2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMcNaughtonOptRejectsUnschedulable(t *testing.T) {
+	f := laminar.SemiPartitioned(2)
+	in := model.New(f)
+	in.AddJobMap(map[int]int64{f.Singleton(0): 3}) // cannot run globally
+	if _, err := McNaughtonOpt(in); err == nil {
+		t.Fatal("job without global time accepted")
+	}
+	if _, err := GlobalAssignment(in); err == nil {
+		t.Fatal("GlobalAssignment accepted unschedulable job")
+	}
+}
+
+func TestZeroLengthJobs(t *testing.T) {
+	f := laminar.SemiPartitioned(2)
+	in := model.New(f)
+	in.AddJob(make([]int64, f.Len())) // all-zero job
+	in.AddJobMap(map[int]int64{f.Roots()[0]: 4, f.Singleton(0): 4, f.Singleton(1): 4})
+	a := model.Assignment{f.Roots()[0], f.Roots()[0]}
+	s, err := Schedule(in, a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate(t, in, a, s)
+	if s.Makespan() != 4 {
+		t.Fatalf("makespan = %d, want 4", s.Makespan())
+	}
+}

@@ -1,0 +1,222 @@
+// Package sim executes a schedule on a simulated SMP-CMP machine with
+// explicit communication costs: migrating a job between two machines
+// charges a latency that depends on their distance in the hierarchy
+// (intra-chip < inter-chip < inter-node, Section I of the paper), and
+// every preemption charges a context-switch cost. The paper's model
+// absorbs these costs into the mask-dependent processing times P_j(α);
+// the simulator makes the absorbed quantity explicit, so experiments can
+// check that the processing-time allowance of a mask covers the costs the
+// schedule actually incurs (Proposition III.2 bounds how many events there
+// can be).
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"hsp/internal/laminar"
+	"hsp/internal/model"
+	"hsp/internal/sched"
+)
+
+// CostModel prices scheduling events.
+type CostModel struct {
+	// ContextSwitch is charged per preemption (stop + later resume on the
+	// same machine).
+	ContextSwitch int64
+	// MigrationByHeight[h] is charged when a job moves between machines
+	// whose lowest common set in the hierarchy has height h. Index 0 is
+	// unused for distinct machines (height 0 sets are leaves); missing
+	// heights fall back to the last entry.
+	MigrationByHeight []int64
+}
+
+// DefaultCostModel prices a migration across height h at base·2^h and a
+// context switch at base/2: cheap within a chip, dear across nodes.
+func DefaultCostModel(f *laminar.Family, base int64) CostModel {
+	maxH := 0
+	for s := 0; s < f.Len(); s++ {
+		if h := f.Height(s); h > maxH {
+			maxH = h
+		}
+	}
+	lat := make([]int64, maxH+1)
+	c := base
+	for h := 0; h <= maxH; h++ {
+		lat[h] = c
+		c *= 2
+	}
+	return CostModel{ContextSwitch: base / 2, MigrationByHeight: lat}
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Event kinds, in the order they can occur for a job.
+const (
+	Start EventKind = iota
+	Preempt
+	Resume
+	Migrate
+	Finish
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Start:
+		return "start"
+	case Preempt:
+		return "preempt"
+	case Resume:
+		return "resume"
+	case Migrate:
+		return "migrate"
+	case Finish:
+		return "finish"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one entry of the execution trace.
+type Event struct {
+	Time    int64
+	Job     int
+	Kind    EventKind
+	Machine int // machine after the event
+	From    int // previous machine (Migrate only, else -1)
+	Cost    int64
+}
+
+// Report aggregates a simulation.
+type Report struct {
+	Events        []Event
+	PerJobCost    []int64 // total charged event cost per job
+	MigrationCost int64
+	PreemptCost   int64
+	Makespan      int64
+	MachineBusy   []int64
+	Utilization   float64 // busy time / (machines × makespan)
+	Migrations    int
+	Preemptions   int
+}
+
+// Run replays the schedule under the cost model and returns the trace.
+// The family provides migration distances; every pair of machines used by
+// one job must share some set.
+func Run(f *laminar.Family, s *sched.Schedule, cm CostModel) (*Report, error) {
+	rep := &Report{
+		PerJobCost:  make([]int64, s.NumJobs),
+		MachineBusy: make([]int64, s.NumMachines),
+	}
+	byJob := make([][]sched.Interval, s.NumJobs)
+	for _, iv := range s.Intervals {
+		byJob[iv.Job] = append(byJob[iv.Job], iv)
+		rep.MachineBusy[iv.Machine] += iv.End - iv.Start
+		if iv.End > rep.Makespan {
+			rep.Makespan = iv.End
+		}
+	}
+	for j, ivs := range byJob {
+		if len(ivs) == 0 {
+			continue
+		}
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].Start < ivs[b].Start })
+		// Merge abutting same-machine runs before classifying joints.
+		var runs []sched.Interval
+		for _, iv := range ivs {
+			if n := len(runs); n > 0 && runs[n-1].Machine == iv.Machine && runs[n-1].End == iv.Start {
+				runs[n-1].End = iv.End
+				continue
+			}
+			runs = append(runs, iv)
+		}
+		rep.Events = append(rep.Events, Event{
+			Time: runs[0].Start, Job: j, Kind: Start, Machine: runs[0].Machine, From: -1,
+		})
+		for i := 1; i < len(runs); i++ {
+			prev, cur := runs[i-1], runs[i]
+			if cur.Machine == prev.Machine {
+				rep.Events = append(rep.Events,
+					Event{Time: prev.End, Job: j, Kind: Preempt, Machine: prev.Machine, From: -1, Cost: cm.ContextSwitch},
+					Event{Time: cur.Start, Job: j, Kind: Resume, Machine: cur.Machine, From: -1},
+				)
+				rep.PerJobCost[j] += cm.ContextSwitch
+				rep.PreemptCost += cm.ContextSwitch
+				rep.Preemptions++
+				continue
+			}
+			h, err := migrationHeight(f, prev.Machine, cur.Machine)
+			if err != nil {
+				return nil, fmt.Errorf("sim: job %d: %w", j, err)
+			}
+			cost := migrationCost(cm, h)
+			rep.Events = append(rep.Events, Event{
+				Time: cur.Start, Job: j, Kind: Migrate,
+				Machine: cur.Machine, From: prev.Machine, Cost: cost,
+			})
+			rep.PerJobCost[j] += cost
+			rep.MigrationCost += cost
+			rep.Migrations++
+		}
+		last := runs[len(runs)-1]
+		rep.Events = append(rep.Events, Event{
+			Time: last.End, Job: j, Kind: Finish, Machine: last.Machine, From: -1,
+		})
+	}
+	sort.SliceStable(rep.Events, func(a, b int) bool { return rep.Events[a].Time < rep.Events[b].Time })
+	if rep.Makespan > 0 && s.NumMachines > 0 {
+		var busy int64
+		for _, b := range rep.MachineBusy {
+			busy += b
+		}
+		rep.Utilization = float64(busy) / (float64(s.NumMachines) * float64(rep.Makespan))
+	}
+	return rep, nil
+}
+
+// migrationHeight returns the height of the minimal family set containing
+// both machines: the communication distance of the move.
+func migrationHeight(f *laminar.Family, a, b int) (int, error) {
+	for cur := f.MinimalContaining(a); cur >= 0; cur = f.Parent(cur) {
+		if f.Contains(cur, b) {
+			return f.Height(cur), nil
+		}
+	}
+	return 0, fmt.Errorf("machines %d and %d share no admissible set", a, b)
+}
+
+func migrationCost(cm CostModel, h int) int64 {
+	if len(cm.MigrationByHeight) == 0 {
+		return 0
+	}
+	if h >= len(cm.MigrationByHeight) {
+		h = len(cm.MigrationByHeight) - 1
+	}
+	return cm.MigrationByHeight[h]
+}
+
+// OverheadCheck compares, for each job, the processing-time allowance its
+// mask grants (P_j(mask) minus the cheapest singleton inside the mask)
+// with the event cost the schedule actually charged. It returns the number
+// of jobs whose allowance covered the charge and the worst shortfall. This
+// operationalizes the paper's remark that migration costs "can be
+// accounted for in the processing times" using Proposition III.2.
+func OverheadCheck(in *model.Instance, a model.Assignment, rep *Report) (covered int, worstShortfall int64) {
+	f := in.Family
+	for j, set := range a {
+		allowance := int64(0)
+		best := in.Proc[j][set]
+		for _, i := range f.Machines(set) {
+			if s := f.Singleton(i); s >= 0 && in.Proc[j][s] < best {
+				best = in.Proc[j][s]
+			}
+		}
+		allowance = in.Proc[j][set] - best
+		if rep.PerJobCost[j] <= allowance {
+			covered++
+		} else if short := rep.PerJobCost[j] - allowance; short > worstShortfall {
+			worstShortfall = short
+		}
+	}
+	return covered, worstShortfall
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsp/internal/hier"
+	"hsp/internal/laminar"
+	"hsp/internal/model"
+	"hsp/internal/sched"
+	"hsp/internal/semipart"
+)
+
+func TestDefaultCostModel(t *testing.T) {
+	f, _ := laminar.Hierarchy(2, 2, 2)
+	cm := DefaultCostModel(f, 4)
+	if cm.ContextSwitch != 2 {
+		t.Fatalf("context switch = %d, want 2", cm.ContextSwitch)
+	}
+	// Heights 0..3: costs 4, 8, 16, 32.
+	if len(cm.MigrationByHeight) != 4 || cm.MigrationByHeight[3] != 32 {
+		t.Fatalf("latencies = %v", cm.MigrationByHeight)
+	}
+}
+
+func TestRunOnPaperExample(t *testing.T) {
+	// Example III.1's schedule: job 2 (index) migrates machine 0 -> 1.
+	in := model.ExampleII1()
+	f := in.Family
+	a := model.Assignment{f.Singleton(0), f.Singleton(1), f.Roots()[0]}
+	s, err := semipart.Schedule(in, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := DefaultCostModel(f, 2)
+	rep, err := Run(f, s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Migrations != 1 || rep.Preemptions != 0 {
+		t.Fatalf("migrations=%d preemptions=%d, want 1/0", rep.Migrations, rep.Preemptions)
+	}
+	// The migration crosses the root (height 1): cost 2·2 = 4.
+	if rep.MigrationCost != 4 {
+		t.Fatalf("migration cost = %d, want 4", rep.MigrationCost)
+	}
+	if rep.Makespan != 2 {
+		t.Fatalf("makespan = %d", rep.Makespan)
+	}
+	if rep.Utilization != 1.0 {
+		t.Fatalf("utilization = %v, want 1 (both machines fully busy)", rep.Utilization)
+	}
+	// Trace sanity: every job starts and finishes, in time order.
+	starts, finishes := 0, 0
+	for _, e := range rep.Events {
+		switch e.Kind {
+		case Start:
+			starts++
+		case Finish:
+			finishes++
+		}
+	}
+	if starts != 3 || finishes != 3 {
+		t.Fatalf("starts=%d finishes=%d", starts, finishes)
+	}
+}
+
+func TestMigrationHeightDistances(t *testing.T) {
+	f, _ := laminar.Hierarchy(2, 2) // machines 0..3; chips {0,1}, {2,3}
+	// Within a chip: the chip has height 1.
+	if h, err := migrationHeight(f, 0, 1); err != nil || h != 1 {
+		t.Fatalf("intra-chip height = %d (%v), want 1", h, err)
+	}
+	// Across chips: only the root (height 2) contains both.
+	if h, err := migrationHeight(f, 0, 3); err != nil || h != 2 {
+		t.Fatalf("inter-chip height = %d (%v), want 2", h, err)
+	}
+	// Disconnected machines share no set.
+	g := laminar.Singletons(2)
+	if _, err := migrationHeight(g, 0, 1); err == nil {
+		t.Fatal("singleton-only family should have no common set")
+	}
+}
+
+func TestRunCountsMatchCyclicStatsOnWallClock(t *testing.T) {
+	// The simulator's wall-clock event counts equal Schedule.Stats().
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(6)
+		f := laminar.SemiPartitioned(m)
+		in := model.New(f)
+		root := f.Roots()[0]
+		n := 2 + rng.Intn(12)
+		a := make(model.Assignment, n)
+		for j := 0; j < n; j++ {
+			base := int64(1 + rng.Intn(20))
+			proc := make([]int64, f.Len())
+			for s := range proc {
+				proc[s] = base
+			}
+			in.AddJob(proc)
+			if rng.Intn(2) == 0 {
+				a[j] = root
+			} else {
+				a[j] = f.Singleton(rng.Intn(m))
+			}
+		}
+		T := a.MinMakespan(in)
+		s, err := semipart.Schedule(in, a, T)
+		if err != nil {
+			return false
+		}
+		rep, err := Run(f, s, DefaultCostModel(f, 2))
+		if err != nil {
+			return false
+		}
+		st := s.Stats()
+		return rep.Migrations == st.Migrations && rep.Preemptions == st.Preemptions
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverheadCheck(t *testing.T) {
+	// A job whose global time grants allowance 2 over its best singleton,
+	// with a single intra-root migration costing 2·base.
+	f := laminar.SemiPartitioned(2)
+	in := model.New(f)
+	root := f.Roots()[0]
+	in.AddJobMap(map[int]int64{root: 6, f.Singleton(0): 4, f.Singleton(1): 4})
+	a := model.Assignment{root}
+	s := sched.New(1, 2, 6)
+	s.Add(0, 0, 0, 3)
+	s.Add(0, 1, 3, 6)
+	rep, err := Run(f, s, CostModel{ContextSwitch: 1, MigrationByHeight: []int64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, shortfall := OverheadCheck(in, a, rep)
+	if covered != 1 || shortfall != 0 {
+		t.Fatalf("covered=%d shortfall=%d, want allowance 2 ≥ cost 2", covered, shortfall)
+	}
+	// Halve the allowance: now the charge exceeds it.
+	in.Proc[0][root] = 5
+	covered, shortfall = OverheadCheck(in, a, rep)
+	if covered != 0 || shortfall != 1 {
+		t.Fatalf("covered=%d shortfall=%d, want 0/1", covered, shortfall)
+	}
+}
+
+func TestRunOnHierarchicalSchedule(t *testing.T) {
+	f, _ := laminar.Hierarchy(2, 2)
+	rng := rand.New(rand.NewSource(3))
+	in := model.New(f)
+	n := 10
+	a := make(model.Assignment, n)
+	for j := 0; j < n; j++ {
+		base := int64(3 + rng.Intn(20))
+		proc := make([]int64, f.Len())
+		for s := range proc {
+			proc[s] = base + int64(f.Levels()-f.Level(s))
+		}
+		in.AddJob(proc)
+		a[j] = rng.Intn(f.Len())
+	}
+	T := a.MinMakespan(in)
+	s, err := hier.Schedule(in, a, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(f, s, DefaultCostModel(f, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan > T {
+		t.Fatalf("simulated makespan %d > T %d", rep.Makespan, T)
+	}
+	if rep.Utilization <= 0 || rep.Utilization > 1 {
+		t.Fatalf("utilization %v out of range", rep.Utilization)
+	}
+	var perJob int64
+	for _, c := range rep.PerJobCost {
+		perJob += c
+	}
+	if perJob != rep.MigrationCost+rep.PreemptCost {
+		t.Fatalf("per-job costs %d != aggregate %d", perJob, rep.MigrationCost+rep.PreemptCost)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for _, k := range []EventKind{Start, Preempt, Resume, Migrate, Finish} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}

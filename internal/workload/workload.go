@@ -1,0 +1,307 @@
+// Package workload generates synthetic hierarchical scheduling instances:
+// the SMP-CMP cluster topologies that motivate the paper (Section I), with
+// heterogeneous machine speeds and per-level migration overheads, plus the
+// memory-annotated variants of Section VI. All generation is deterministic
+// given the seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hsp/internal/laminar"
+	"hsp/internal/memcap"
+	"hsp/internal/model"
+)
+
+// Topology selects the admissible family shape.
+type Topology int
+
+// Supported topologies (Section II's special cases plus random laminar).
+const (
+	Flat            Topology = iota // A = {M}: global scheduling
+	Singletons                      // A = singletons: unrelated machines
+	SemiPartitioned                 // A = {M} ∪ singletons
+	Clustered                       // A = {M} ∪ clusters ∪ singletons
+	SMPCMP                          // multi-level hierarchy from Branching
+	RandomLaminar                   // random recursive partition
+)
+
+func (t Topology) String() string {
+	switch t {
+	case Flat:
+		return "flat"
+	case Singletons:
+		return "singletons"
+	case SemiPartitioned:
+		return "semi-partitioned"
+	case Clustered:
+		return "clustered"
+	case SMPCMP:
+		return "smp-cmp"
+	case RandomLaminar:
+		return "random-laminar"
+	}
+	return fmt.Sprintf("Topology(%d)", int(t))
+}
+
+// Config parameterizes instance generation.
+type Config struct {
+	Topology    Topology
+	Machines    int   // used by Flat/Singletons/SemiPartitioned/RandomLaminar
+	Clusters    int   // Clustered: number of clusters
+	ClusterSize int   // Clustered: machines per cluster
+	Branching   []int // SMPCMP: e.g. {2,2,2} = 2 nodes × 2 chips × 2 cores
+
+	Jobs int
+	Seed int64
+
+	// MinWork/MaxWork bound the per-job base work (uniform integer).
+	MinWork, MaxWork int64
+	// SpeedSpread h > 0 draws machine speeds uniformly from [1, 1+h]
+	// (heterogeneous multicore, Section I).
+	SpeedSpread float64
+	// OverheadPerLevel o ≥ 0 multiplies processing times by (1+o) per
+	// hierarchy level above the leaves: the migration-cost model (intra-CMP
+	// cheaper than inter-CMP cheaper than inter-node).
+	OverheadPerLevel float64
+	// PinFraction of jobs are restricted to a random subtree (processor
+	// affinities / restricted assignment flavor).
+	PinFraction float64
+}
+
+func (c Config) family() (*laminar.Family, error) {
+	switch c.Topology {
+	case Flat:
+		return laminar.Flat(c.Machines), nil
+	case Singletons:
+		return laminar.Singletons(c.Machines), nil
+	case SemiPartitioned:
+		return laminar.SemiPartitioned(c.Machines), nil
+	case Clustered:
+		return laminar.Clustered(c.Clusters, c.ClusterSize)
+	case SMPCMP:
+		return laminar.Hierarchy(c.Branching...)
+	case RandomLaminar:
+		return nil, nil // built with the rng in Generate
+	}
+	return nil, fmt.Errorf("workload: unknown topology %d", int(c.Topology))
+}
+
+// Generate builds an instance according to the configuration.
+func Generate(cfg Config) (*model.Instance, error) {
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("workload: need a positive number of jobs")
+	}
+	if cfg.MinWork <= 0 || cfg.MaxWork < cfg.MinWork {
+		return nil, fmt.Errorf("workload: bad work range [%d,%d]", cfg.MinWork, cfg.MaxWork)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f, err := cfg.family()
+	if err != nil {
+		return nil, err
+	}
+	if f == nil { // RandomLaminar
+		if cfg.Machines <= 0 {
+			return nil, fmt.Errorf("workload: random topology needs machines")
+		}
+		f = randomLaminar(rng, cfg.Machines)
+	}
+
+	m := f.M()
+	speeds := make([]float64, m)
+	for i := range speeds {
+		speeds[i] = 1 + cfg.SpeedSpread*rng.Float64()
+	}
+
+	in := model.New(f)
+	maxLevel := f.Levels()
+	for j := 0; j < cfg.Jobs; j++ {
+		work := cfg.MinWork + rng.Int63n(cfg.MaxWork-cfg.MinWork+1)
+		proc := make([]int64, f.Len())
+		// Bottom-up: a set costs the slowest of its machines times the
+		// per-level overhead, and never less than any subset (monotone).
+		for _, s := range f.BottomUp() {
+			raw := 0.0
+			for _, i := range f.Machines(s) {
+				if t := float64(work) / speeds[i]; t > raw {
+					raw = t
+				}
+			}
+			levelsAboveLeaf := maxLevel - f.Level(s)
+			v := int64(math.Ceil(raw * math.Pow(1+cfg.OverheadPerLevel, float64(levelsAboveLeaf))))
+			if v < 1 {
+				v = 1
+			}
+			for _, c := range f.Children(s) {
+				if proc[c] > v {
+					v = proc[c]
+				}
+			}
+			proc[s] = v
+		}
+		if rng.Float64() < cfg.PinFraction {
+			// Restrict the job to a random subtree; sets outside become
+			// inadmissible (monotonicity allows Infinity only upward).
+			pin := rng.Intn(f.Len())
+			inSub := map[int]bool{}
+			for _, s := range f.SubsetIDs(pin) {
+				inSub[s] = true
+			}
+			for s := range proc {
+				if !inSub[s] {
+					proc[s] = model.Infinity
+				}
+			}
+		}
+		in.AddJob(proc)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated instance invalid: %w", err)
+	}
+	return in, nil
+}
+
+// randomLaminar builds a family by random recursive partitioning, always
+// including the root and all singletons.
+func randomLaminar(rng *rand.Rand, m int) *laminar.Family {
+	var sets [][]int
+	var rec func(machines []int, root bool)
+	rec = func(machines []int, root bool) {
+		if len(machines) == 1 {
+			sets = append(sets, append([]int(nil), machines...))
+			return
+		}
+		if root || rng.Intn(3) > 0 {
+			sets = append(sets, append([]int(nil), machines...))
+		}
+		k := 1 + rng.Intn(len(machines)-1)
+		rec(machines[:k], false)
+		rec(machines[k:], false)
+	}
+	all := make([]int, m)
+	for i := range all {
+		all[i] = i
+	}
+	rec(all, true)
+	return laminar.MustNew(m, sets)
+}
+
+// MemoryConfig parameterizes the Section VI annotations.
+type MemoryConfig struct {
+	// Model 1: sizes drawn from [MinSize, MaxSize]; budgets set to
+	// BudgetSlack × (total size on the machine) (≥ the largest single job).
+	MinSize, MaxSize int64
+	BudgetSlack      float64
+	// Model 2: µ.
+	Mu float64
+}
+
+// AttachModel1 draws per-machine sizes and budgets for the instance.
+func AttachModel1(in *model.Instance, mc MemoryConfig, seed int64) (*memcap.Model1, error) {
+	if mc.MinSize <= 0 || mc.MaxSize < mc.MinSize {
+		return nil, fmt.Errorf("workload: bad size range [%d,%d]", mc.MinSize, mc.MaxSize)
+	}
+	if mc.BudgetSlack <= 0 {
+		return nil, fmt.Errorf("workload: budget slack must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n, m := in.N(), in.M()
+	size := make([][]int64, n)
+	for j := range size {
+		row := make([]int64, m)
+		for i := range row {
+			row[i] = mc.MinSize + rng.Int63n(mc.MaxSize-mc.MinSize+1)
+		}
+		size[j] = row
+	}
+	budget := make([]int64, m)
+	for i := range budget {
+		var tot, max int64
+		for j := 0; j < n; j++ {
+			tot += size[j][i]
+			if size[j][i] > max {
+				max = size[j][i]
+			}
+		}
+		b := int64(math.Ceil(mc.BudgetSlack * float64(tot) / float64(m)))
+		if b < max {
+			b = max
+		}
+		budget[i] = b
+	}
+	return &memcap.Model1{In: in, Budget: budget, Size: size}, nil
+}
+
+// AttachModel2 draws job sizes in (0, 1] for the instance.
+func AttachModel2(in *model.Instance, mc MemoryConfig, seed int64) (*memcap.Model2, error) {
+	if mc.Mu <= 1 {
+		return nil, fmt.Errorf("workload: µ must exceed 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sizes := make([]float64, in.N())
+	for j := range sizes {
+		sizes[j] = 0.05 + 0.95*rng.Float64()
+	}
+	return &memcap.Model2{In: in, JobSize: sizes, Mu: mc.Mu}, nil
+}
+
+// GenerateGeneral builds a random general (non-laminar) instance for the
+// Section II 8-approximation experiment: overlapping machine windows plus
+// all singletons, with monotone times enforced bottom-up by set size.
+func GenerateGeneral(m, n, extraSets int, seed int64) *model.GeneralInstance {
+	rng := rand.New(rand.NewSource(seed))
+	var sets [][]int
+	for i := 0; i < m; i++ {
+		sets = append(sets, []int{i})
+	}
+	for e := 0; e < extraSets; e++ {
+		lo := rng.Intn(m)
+		w := 2 + rng.Intn(m)
+		var set []int
+		for i := lo; i < lo+w && i < m; i++ {
+			set = append(set, i)
+		}
+		if len(set) >= 2 {
+			sets = append(sets, set)
+		}
+	}
+	g := &model.GeneralInstance{M: m, Sets: sets}
+	for j := 0; j < n; j++ {
+		base := int64(1 + rng.Intn(20))
+		proc := make([]int64, len(sets))
+		for s, set := range sets {
+			// Larger sets cost more: base + a per-extra-machine overhead;
+			// monotone because cost strictly increases with cardinality.
+			proc[s] = base + int64(len(set)-1)*int64(1+rng.Intn(2))
+		}
+		// Enforce monotonicity exactly: lift each set to the max of its
+		// subsets.
+		for s, set := range sets {
+			for s2, set2 := range sets {
+				if s2 == s || len(set2) > len(set) {
+					continue
+				}
+				if isSubset(set2, set) && proc[s2] > proc[s] {
+					proc[s] = proc[s2]
+				}
+			}
+		}
+		g.Proc = append(g.Proc, proc)
+	}
+	return g
+}
+
+func isSubset(a, b []int) bool {
+	in := map[int]bool{}
+	for _, x := range b {
+		in[x] = true
+	}
+	for _, x := range a {
+		if !in[x] {
+			return false
+		}
+	}
+	return true
+}
