@@ -1,0 +1,31 @@
+# CI and local development invoke identical commands: .github/workflows/ci.yml
+# runs exactly these targets.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test race bench-quick ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The reproduction gate: the quick suite on the parallel runner, stable
+# JSON records, nonzero exit on any claim-check failure.
+bench-quick:
+	$(GO) run ./cmd/hbench -quick -parallel -json
+
+ci: build vet fmt-check race bench-quick

@@ -305,6 +305,25 @@ func BenchmarkE15Simulation(b *testing.B) {
 	b.ReportMetric(coverage, "allowance-coverage")
 }
 
+// BenchmarkSuiteRunnerParallel drives the whole quick suite through the
+// registry-driven runner on a bounded worker pool — the end-to-end cost
+// of one CI reproduction gate.
+func BenchmarkSuiteRunnerParallel(b *testing.B) {
+	var experiments float64
+	for i := 0; i < b.N; i++ {
+		r := expt.Runner{Suite: expt.Suite{Quick: true, Seed: 7}}
+		results, err := r.Run(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if summary, failed := expt.Summarize(results); failed {
+			b.Fatalf("suite failed: %s", summary)
+		}
+		experiments = float64(len(results))
+	}
+	b.ReportMetric(experiments, "experiments")
+}
+
 // parseCell strips the upper-bound marker and parses the value.
 func parseCell(s string) int64 {
 	s = strings.TrimPrefix(s, "≤")

@@ -1,13 +1,20 @@
 // Command hbench runs the paper-reproduction experiment suite E1–E15 (see
-// EXPERIMENTS.md for the mapping to the paper's claims) and prints each
-// experiment as an aligned table.
+// EXPERIMENTS.md for the mapping to the paper's claims) through the
+// registry-driven runner and reports each experiment's table and claim
+// checks. It exits nonzero when any claim check fails, an experiment
+// panics, or a deadline is exceeded — the reproduction-drift gate CI
+// relies on.
 //
 // Usage:
 //
-//	hbench                # the full suite (minutes)
-//	hbench -quick         # reduced trial counts (seconds)
-//	hbench -run E7,E10    # a subset
-//	hbench -csv out/      # additionally write CSV files
+//	hbench                    # the full suite (minutes)
+//	hbench -quick             # reduced trial counts (seconds)
+//	hbench -run E7,E10        # a subset
+//	hbench -parallel          # experiments on a bounded worker pool
+//	hbench -timeout 2m        # per-experiment deadline
+//	hbench -quick -json       # stable JSONL records (CI-diffable)
+//	hbench -quick -json-full  # JSONL with wall times and table payloads
+//	hbench -csv out/          # additionally write CSV files
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"hsp/internal/expt"
 )
@@ -31,38 +39,103 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hbench", flag.ContinueOnError)
 	var (
-		quick = fs.Bool("quick", false, "reduced trial counts and sizes")
-		seed  = fs.Int64("seed", 7, "base random seed")
-		runID = fs.String("run", "", "comma-separated experiment ids (default: all)")
-		csv   = fs.String("csv", "", "directory to write per-experiment CSV files")
+		quick    = fs.Bool("quick", false, "reduced trial counts and sizes")
+		seed     = fs.Int64("seed", 7, "base random seed (per-experiment seeds derive from it)")
+		runID    = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		csv      = fs.String("csv", "", "directory to write per-experiment CSV files")
+		jsonOut  = fs.Bool("json", false, "emit one stable JSON record per experiment (JSONL) instead of tables")
+		jsonFull = fs.Bool("json-full", false, "like -json, plus measured duration_ms and table payloads (not byte-stable)")
+		parallel = fs.Bool("parallel", false, "run experiments on a bounded worker pool (GOMAXPROCS workers)")
+		timeout  = fs.Duration("timeout", 0, "per-experiment deadline (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	s := expt.Suite{Quick: *quick, Seed: *seed}
-	var tables []*expt.Table
-	if *runID == "" {
-		tables = s.All()
-	} else {
+	var ids []string
+	if *runID != "" {
 		for _, id := range strings.Split(*runID, ",") {
-			t, err := s.ByID(strings.TrimSpace(id))
-			if err != nil {
-				return err
-			}
-			tables = append(tables, t)
+			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	for _, t := range tables {
-		t.Fprint(stdout)
-		if *csv != "" {
-			if err := os.MkdirAll(*csv, 0o755); err != nil {
-				return err
-			}
-			path := filepath.Join(*csv, t.ID+".csv")
-			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-				return err
-			}
+
+	r := expt.Runner{
+		Suite:   expt.Suite{Quick: *quick, Seed: *seed},
+		Workers: 1,
+		Timeout: *timeout,
+	}
+	if *parallel {
+		r.Workers = 0 // GOMAXPROCS
+	}
+	results, err := r.Run(ids)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut || *jsonFull {
+		if err := expt.WriteJSON(stdout, results, expt.JSONOptions{Full: *jsonFull}); err != nil {
+			return err
+		}
+	} else {
+		for _, res := range results {
+			printResult(stdout, res)
+		}
+	}
+	if *csv != "" {
+		if err := writeCSVs(*csv, results); err != nil {
+			return err
+		}
+	}
+
+	summary, failed := expt.Summarize(results)
+	if failed {
+		// The error main prints to stderr carries the summary; printing it
+		// here too would duplicate it.
+		return fmt.Errorf("suite failed: %s", summary)
+	}
+	if *jsonOut || *jsonFull {
+		fmt.Fprintln(os.Stderr, summary)
+	} else {
+		fmt.Fprintln(stdout, summary)
+	}
+	return nil
+}
+
+// printResult renders one experiment as text: the table (when the
+// experiment produced one) plus status and wall time.
+func printResult(w io.Writer, res expt.Result) {
+	if res.Table != nil {
+		t := &expt.Table{
+			ID: res.ID, Title: res.Title,
+			Columns: res.Table.Columns, Rows: res.Table.Rows,
+			Notes: res.Table.Notes, Checks: res.Checks,
+		}
+		t.Fprint(w)
+	} else {
+		fmt.Fprintf(w, "== %s: %s ==\n", res.ID, res.Title)
+	}
+	if res.Status != expt.StatusPass {
+		fmt.Fprintf(w, "  status: %s", res.Status)
+		if res.Error != "" {
+			fmt.Fprintf(w, " (%s)", res.Error)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  time: %s\n\n", res.Duration().Round(time.Millisecond))
+}
+
+func writeCSVs(dir string, results []expt.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, res := range results {
+		if res.Table == nil {
+			continue
+		}
+		t := &expt.Table{Columns: res.Table.Columns, Rows: res.Table.Rows}
+		path := filepath.Join(dir, res.ID+".csv")
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			return err
 		}
 	}
 	return nil

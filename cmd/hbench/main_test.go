@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hsp/internal/expt"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -16,6 +19,9 @@ func TestRunSingleExperiment(t *testing.T) {
 	got := out.String()
 	if !strings.Contains(got, "E1") || !strings.Contains(got, "OPT(I) hierarchical") {
 		t.Fatalf("unexpected output:\n%s", got)
+	}
+	if !strings.Contains(got, "1/1 experiments passed") {
+		t.Fatalf("summary missing:\n%s", got)
 	}
 }
 
@@ -38,5 +44,84 @@ func TestRunWritesCSV(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "OPT(I)") {
 		t.Fatalf("csv content wrong:\n%s", data)
+	}
+}
+
+func TestJSONRecordsPerExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-run", "E1,E7", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSONL records, got %d:\n%s", len(lines), out.String())
+	}
+	for i, want := range []string{"E1", "E7"} {
+		var rec struct {
+			ID     string  `json:"id"`
+			Status string  `json:"status"`
+			Dur    float64 `json:"duration_ms"`
+			Rows   int     `json:"rows"`
+		}
+		if err := json.Unmarshal([]byte(lines[i]), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.ID != want || rec.Status != "pass" || rec.Rows == 0 {
+			t.Fatalf("record %d wrong: %+v", i, rec)
+		}
+	}
+}
+
+func TestParallelJSONByteIdentical(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run([]string{"-quick", "-run", "E1,E2,E7", "-json"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-run", "E1,E2,E7", "-json", "-parallel"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("parallel output differs:\n%s\n---\n%s", seq.String(), par.String())
+	}
+}
+
+func TestFailingClaimExitsNonzero(t *testing.T) {
+	expt.Register(expt.Experiment{ID: "ZDRIFT", Title: "injected drift", Claim: "4=5",
+		Run: func(expt.Suite) *expt.Table {
+			tab := &expt.Table{ID: "ZDRIFT", Columns: []string{"v"}}
+			tab.AddRow(4)
+			tab.CheckEq("arithmetic", 4, 5)
+			return tab
+		}})
+	defer expt.Unregister("ZDRIFT")
+
+	var out bytes.Buffer
+	err := run([]string{"-quick", "-run", "ZDRIFT", "-json"}, &out)
+	if err == nil {
+		t.Fatal("failing claim did not produce an error (nonzero exit)")
+	}
+	if !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("error does not mention failure: %v", err)
+	}
+	// The record is still emitted so CI can report what drifted.
+	if !strings.Contains(out.String(), `"id":"ZDRIFT"`) || !strings.Contains(out.String(), `"status":"fail"`) {
+		t.Fatalf("drift record missing:\n%s", out.String())
+	}
+}
+
+func TestTimeoutFlagExitsNonzero(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	expt.Register(expt.Experiment{ID: "ZHANG", Title: "hangs",
+		Run: func(expt.Suite) *expt.Table { <-release; return &expt.Table{ID: "ZHANG"} }})
+	defer expt.Unregister("ZHANG")
+
+	var out bytes.Buffer
+	err := run([]string{"-run", "ZHANG", "-timeout", "20ms", "-json"}, &out)
+	if err == nil {
+		t.Fatal("timeout did not produce an error")
+	}
+	if !strings.Contains(out.String(), `"status":"timeout"`) {
+		t.Fatalf("timeout record missing:\n%s", out.String())
 	}
 }

@@ -1,0 +1,3 @@
+module hsp
+
+go 1.24

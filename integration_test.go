@@ -1,7 +1,6 @@
 package hsp_test
 
 import (
-	"fmt"
 	"testing"
 
 	"hsp"
@@ -149,7 +148,7 @@ func TestExampleV1ThroughFacade(t *testing.T) {
 		// The migratory job visits every machine: m-1 moves.
 		st := s.CyclicStats()
 		if st.Migrations > in.M()-1 {
-			t.Fatalf(fmt.Sprintf("n=%d: %d migrations exceed m-1", n, st.Migrations))
+			t.Fatalf("n=%d: %d migrations exceed m-1", n, st.Migrations)
 		}
 	}
 }

@@ -34,38 +34,108 @@ func (s Suite) trials(full int) int {
 	return full
 }
 
+// The core suite E1–E12 registers here; E13–E15 register in
+// extensions.go. The registry is the single source of truth for titles
+// and claims — newTable pulls the title from it.
+func init() {
+	Register(Experiment{ID: "E1",
+		Title: "Examples II.1/III.1: semi-partitioned vs unrelated optimum",
+		Claim: "OPT(I)=2, OPT(I_u)=3, T*=2; Algorithm 1 realizes makespan 2 with ≤1 migration",
+		Run:   Suite.E1})
+	Register(Experiment{ID: "E2",
+		Title: "Theorem III.1: Algorithm 1 validity on random feasible (x,T)",
+		Claim: "every feasible (x,T) yields a valid schedule of makespan exactly T",
+		Run:   Suite.E2})
+	Register(Experiment{ID: "E3",
+		Title: "Proposition III.2: migration/preemption bounds",
+		Claim: "migrations ≤ m−1 and migrations+preemptions ≤ 2m−2 (cyclic counting)",
+		Run:   Suite.E3})
+	Register(Experiment{ID: "E4",
+		Title: "Theorem IV.3: Algorithms 2+3 validity across topologies",
+		Claim: "every feasible hierarchical (x,T) yields a valid schedule of makespan ≤ T",
+		Run:   Suite.E4})
+	Register(Experiment{ID: "E5",
+		Title: "Lemma V.1: push-down preserves feasibility",
+		Claim: "push-down keeps the LP solution feasible and singleton-supported",
+		Run:   Suite.E5})
+	Register(Experiment{ID: "E6",
+		Title: "Theorem V.2: 2-approximation measured ratios",
+		Claim: "ALG/OPT ≤ 2 on every instance",
+		Run:   Suite.E6})
+	Register(Experiment{ID: "E7",
+		Title: "Example V.1: integral gap of the unrelated projection (series → 2)",
+		Claim: "OPT(I_u)/OPT(I) = (2n−3)/(n−1), approaching 2 from below",
+		Run:   Suite.E7})
+	Register(Experiment{ID: "E8",
+		Title: "Theorem VI.1: Model 1 bicriteria factors (bound 3)",
+		Claim: "makespan ≤ 3T and memory ≤ 3B under memory Model 1",
+		Run:   Suite.E8})
+	Register(Experiment{ID: "E9",
+		Title: "Theorem VI.3: Model 2 factors vs σ = 2 + H_k",
+		Claim: "both bicriteria factors ≤ σ = 2 + H_k per hierarchy depth k",
+		Run:   Suite.E9})
+	Register(Experiment{ID: "E10",
+		Title: "Regime comparison on SMP-CMP (8 machines): makespan vs migration overhead",
+		Claim: "hierarchical never loses to any restricted regime (its family contains theirs)",
+		Run:   Suite.E10})
+	Register(Experiment{ID: "E11",
+		Title: "General masks: 8-approximation measured quality",
+		Claim: "LST stays within 2× the nonpreemptive LP bound (paper's end-to-end bound is 8)",
+		Run:   Suite.E11})
+	Register(Experiment{ID: "E12",
+		Title: "Solver scaling: 2-approximation wall time",
+		Claim: "the LP binary search plus rounding completes without error as sizes grow",
+		Run:   Suite.E12})
+}
+
+// newTable starts a table for a registered experiment, pulling the title
+// from the registry.
+func newTable(id string, columns ...string) *Table {
+	e, ok := Lookup(id)
+	if !ok {
+		panic("expt: newTable for unregistered experiment " + id)
+	}
+	return &Table{ID: id, Title: e.Title, Columns: columns}
+}
+
 // E1 reproduces Examples II.1 and III.1: the semi-partitioned optimum is 2,
 // the unrelated projection's optimum is 3, and Algorithm 1 realizes the
 // makespan-2 schedule of Example III.1.
 func (s Suite) E1() *Table {
-	t := &Table{
-		ID:      "E1",
-		Title:   "Examples II.1/III.1: semi-partitioned vs unrelated optimum",
-		Columns: []string{"quantity", "value", "paper"},
-	}
+	t := newTable("E1", "quantity", "value", "paper")
 	in := model.ExampleII1()
 	_, opt, err := exact.Solve(in, exact.Options{})
 	if err != nil {
 		t.Notes = append(t.Notes, "exact solve failed: "+err.Error())
+		t.CheckFail("exact solve", err.Error())
 		return t
 	}
 	t.AddRow("OPT(I) hierarchical", opt, 2)
+	t.CheckEq("OPT(I) hierarchical", opt, 2)
 
 	u := unrelated.FromProjection(in.UnrelatedProjection())
 	_, optU, err := unrelated.ExactSmall(u)
 	if err != nil {
 		t.Notes = append(t.Notes, "unrelated exact failed: "+err.Error())
+		t.CheckFail("unrelated exact", err.Error())
 		return t
 	}
 	t.AddRow("OPT(I_u) unrelated", optU, 3)
+	t.CheckEq("OPT(I_u) unrelated", optU, 3)
 
 	tStar, _, err := relax.MinFeasibleT(in)
 	if err == nil {
 		t.AddRow("LP bound T*", tStar, 2)
+		t.CheckEq("LP bound T*", tStar, 2)
+	} else {
+		t.CheckFail("LP bound T*", err.Error())
 	}
 	res, err := approx.TwoApprox(in)
 	if err == nil {
 		t.AddRow("2-approx makespan", res.Makespan, "≤ 4")
+		t.CheckLE("2-approx makespan", float64(res.Makespan), 4, 0)
+	} else {
+		t.CheckFail("2-approx makespan", err.Error())
 	}
 
 	// Example III.1's explicit schedule via Algorithm 1.
@@ -75,10 +145,14 @@ func (s Suite) E1() *Table {
 		st := sc.CyclicStats()
 		t.AddRow("Algorithm 1 makespan", sc.Makespan(), 2)
 		t.AddRow("Algorithm 1 migrations", st.Migrations, "≤ 1")
+		t.CheckEq("Algorithm 1 makespan", sc.Makespan(), 2)
+		t.CheckLE("Algorithm 1 migrations", float64(st.Migrations), 1, 0)
 		t.Notes = append(t.Notes, "Algorithm 1 Gantt (machines × time):")
 		for _, line := range splitLines(sc.Gantt(1)) {
 			t.Notes = append(t.Notes, "  "+line)
 		}
+	} else {
+		t.CheckFail("Algorithm 1 schedule", err.Error())
 	}
 	return t
 }
@@ -87,11 +161,7 @@ func (s Suite) E1() *Table {
 // schedules of makespan exactly T on random feasible semi-partitioned
 // solutions.
 func (s Suite) E2() *Table {
-	t := &Table{
-		ID:      "E2",
-		Title:   "Theorem III.1: Algorithm 1 validity on random feasible (x,T)",
-		Columns: []string{"m", "n", "trials", "valid", "makespan=T"},
-	}
+	t := newTable("E2", "m", "n", "trials", "valid", "makespan=T")
 	rng := rand.New(rand.NewSource(s.Seed))
 	for _, mn := range [][2]int{{2, 8}, {4, 16}, {8, 32}, {12, 64}} {
 		m, n := mn[0], mn[1]
@@ -112,6 +182,8 @@ func (s Suite) E2() *Table {
 			}
 		}
 		t.AddRow(m, n, trials, valid, tight)
+		t.CheckEq(fmt.Sprintf("m=%d n=%d all valid", m, n), valid, trials)
+		t.CheckEq(fmt.Sprintf("m=%d n=%d makespan=T", m, n), tight, trials)
 	}
 	t.Notes = append(t.Notes, "valid and makespan=T must equal trials (Theorem III.1)")
 	return t
@@ -120,11 +192,7 @@ func (s Suite) E2() *Table {
 // E3 measures Proposition III.2: migrations ≤ m−1, migrations+preemptions
 // ≤ 2m−2 (cyclic counting; wall-clock shown for comparison).
 func (s Suite) E3() *Table {
-	t := &Table{
-		ID:      "E3",
-		Title:   "Proposition III.2: migration/preemption bounds",
-		Columns: []string{"m", "trials", "max migr", "bound m-1", "max events", "bound 2m-2", "max wall events"},
-	}
+	t := newTable("E3", "m", "trials", "max migr", "bound m-1", "max events", "bound 2m-2", "max wall events")
 	rng := rand.New(rand.NewSource(s.Seed + 1))
 	for _, m := range []int{2, 4, 8, 12, 16} {
 		trials := s.trials(60)
@@ -148,6 +216,9 @@ func (s Suite) E3() *Table {
 			}
 		}
 		t.AddRow(m, trials, maxMig, m-1, maxEv, 2*m-2, maxWall)
+		t.CheckLE(fmt.Sprintf("m=%d migrations", m), float64(maxMig), float64(m-1), 0)
+		t.CheckLE(fmt.Sprintf("m=%d cyclic events", m), float64(maxEv), float64(2*m-2), 0)
+		t.CheckLE(fmt.Sprintf("m=%d wall events", m), float64(maxWall), float64(2*m-2), 0)
 	}
 	return t
 }
@@ -155,11 +226,7 @@ func (s Suite) E3() *Table {
 // E4 validates Theorem IV.3 on random laminar families and the canonical
 // clustered and SMP-CMP topologies.
 func (s Suite) E4() *Table {
-	t := &Table{
-		ID:      "E4",
-		Title:   "Theorem IV.3: Algorithms 2+3 validity across topologies",
-		Columns: []string{"topology", "m", "levels", "trials", "valid"},
-	}
+	t := newTable("E4", "topology", "m", "levels", "trials", "valid")
 	rng := rand.New(rand.NewSource(s.Seed + 2))
 	cases := []struct {
 		name string
@@ -197,6 +264,7 @@ func (s Suite) E4() *Table {
 			mM, lv = fmt.Sprint(f.M()), fmt.Sprint(f.Levels())
 		}
 		t.AddRow(name, mM, lv, trials, valid)
+		t.CheckEq(name+" all valid", valid, trials)
 	}
 	t.Notes = append(t.Notes, "valid must equal trials (Theorem IV.3)")
 	return t
@@ -205,11 +273,7 @@ func (s Suite) E4() *Table {
 // E5 validates Lemma V.1: push-down keeps the LP solution feasible and
 // singleton-supported.
 func (s Suite) E5() *Table {
-	t := &Table{
-		ID:      "E5",
-		Title:   "Lemma V.1: push-down preserves feasibility",
-		Columns: []string{"topology", "trials", "feasible after", "singleton-only"},
-	}
+	t := newTable("E5", "topology", "trials", "feasible after", "singleton-only")
 	rng := rand.New(rand.NewSource(s.Seed + 3))
 	for _, topo := range []workload.Topology{workload.SemiPartitioned, workload.Clustered, workload.SMPCMP} {
 		trials := s.trials(25)
@@ -233,6 +297,8 @@ func (s Suite) E5() *Table {
 			}
 		}
 		t.AddRow(topo.String(), trials, okFeas, okSing)
+		t.CheckEq(topo.String()+" feasible", okFeas, trials)
+		t.CheckEq(topo.String()+" singleton-only", okSing, trials)
 	}
 	t.Notes = append(t.Notes, "both counters must equal trials (Lemma V.1)")
 	return t
@@ -241,11 +307,7 @@ func (s Suite) E5() *Table {
 // E6 measures Theorem V.2: the 2-approximation's ratio to the exact
 // optimum (small instances) and to the LP lower bound (larger ones).
 func (s Suite) E6() *Table {
-	t := &Table{
-		ID:      "E6",
-		Title:   "Theorem V.2: 2-approximation measured ratios",
-		Columns: []string{"topology", "n", "trials", "avg ALG/OPT", "max ALG/OPT", "avg ALG/T*", "max ALG/T*", "all ≤ 2"},
-	}
+	t := newTable("E6", "topology", "n", "trials", "avg ALG/OPT", "max ALG/OPT", "avg ALG/T*", "max ALG/T*", "all ≤ 2")
 	rng := rand.New(rand.NewSource(s.Seed + 4))
 	for _, topo := range []workload.Topology{workload.SemiPartitioned, workload.Clustered, workload.SMPCMP} {
 		for _, n := range []int{6, 10} {
@@ -300,19 +362,17 @@ func (s Suite) E6() *Table {
 				continue
 			}
 			t.AddRow(topo.String(), n, cnt, sumOpt/float64(cnt), maxOpt, sumLP/float64(cnt), maxLP, fmt.Sprintf("%d/%d", within, cnt))
+			t.CheckLE(fmt.Sprintf("%s n=%d max ALG/OPT", topo, n), maxOpt, 2, 1e-7)
 		}
 	}
+	t.CheckGE("rows produced", float64(len(t.Rows)), 1, 0)
 	t.Notes = append(t.Notes, "Theorem V.2 guarantees ALG/OPT ≤ 2; typical ratios are far smaller")
 	return t
 }
 
 // E7 reproduces Example V.1: the gap OPT(I_u)/OPT(I) = (2n−3)/(n−1) → 2.
 func (s Suite) E7() *Table {
-	t := &Table{
-		ID:      "E7",
-		Title:   "Example V.1: integral gap of the unrelated projection (series → 2)",
-		Columns: []string{"n", "m", "OPT(I)", "OPT(I_u)", "gap", "paper gap (2n-3)/(n-1)"},
-	}
+	t := newTable("E7", "n", "m", "OPT(I)", "OPT(I_u)", "gap", "paper gap (2n-3)/(n-1)")
 	ns := []int{3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
 	if s.Quick {
 		ns = []int{3, 6, 12, 24}
@@ -332,19 +392,19 @@ func (s Suite) E7() *Table {
 				optU = v
 			}
 		}
-		t.AddRow(n, n-1, opt, optU, float64(optU)/float64(opt),
-			float64(2*n-3)/float64(n-1))
+		gap := float64(optU) / float64(opt)
+		paper := float64(2*n-3) / float64(n-1)
+		t.AddRow(n, n-1, opt, optU, gap, paper)
+		t.CheckWithin(fmt.Sprintf("n=%d gap", n), gap, paper, 1e-6)
+		t.CheckLE(fmt.Sprintf("n=%d gap below 2", n), gap, 2, -1e-9)
 	}
+	t.CheckGE("series length", float64(len(t.Rows)), 3, 0)
 	return t
 }
 
 // E8 measures Theorem VI.1 (memory Model 1): makespan ≤ 3T, memory ≤ 3B.
 func (s Suite) E8() *Table {
-	t := &Table{
-		ID:      "E8",
-		Title:   "Theorem VI.1: Model 1 bicriteria factors (bound 3)",
-		Columns: []string{"m", "n", "trials", "max load factor", "max mem factor", "fallbacks"},
-	}
+	t := newTable("E8", "m", "n", "trials", "max load factor", "max mem factor", "fallbacks")
 	rng := rand.New(rand.NewSource(s.Seed + 5))
 	for _, mn := range [][2]int{{3, 8}, {4, 12}, {6, 18}} {
 		m, n := mn[0], mn[1]
@@ -371,6 +431,8 @@ func (s Suite) E8() *Table {
 			}
 		}
 		t.AddRow(m, n, cnt, maxLoad, maxMem, fb)
+		t.CheckLE(fmt.Sprintf("m=%d n=%d load factor", m, n), maxLoad, 3, 1e-7)
+		t.CheckLE(fmt.Sprintf("m=%d n=%d mem factor", m, n), maxMem, 3, 1e-7)
 	}
 	t.Notes = append(t.Notes, "Theorem VI.1: both factors ≤ 3")
 	return t
@@ -379,11 +441,7 @@ func (s Suite) E8() *Table {
 // E9 measures Theorem VI.3 (memory Model 2): factors ≤ σ = 2 + H_k per
 // hierarchy depth k.
 func (s Suite) E9() *Table {
-	t := &Table{
-		ID:      "E9",
-		Title:   "Theorem VI.3: Model 2 factors vs σ = 2 + H_k",
-		Columns: []string{"levels k", "σ", "trials", "max load factor", "max mem factor", "fallbacks"},
-	}
+	t := newTable("E9", "levels k", "σ", "trials", "max load factor", "max mem factor", "fallbacks")
 	rng := rand.New(rand.NewSource(s.Seed + 6))
 	shapes := [][]int{{2, 2}, {2, 2, 2}, {2, 2, 2, 2}}
 	for _, br := range shapes {
@@ -414,7 +472,10 @@ func (s Suite) E9() *Table {
 				maxMem = res.MemFactor
 			}
 		}
-		t.AddRow(levels, memcap.Sigma(levels), cnt, maxLoad, maxMem, fb)
+		sigma := memcap.Sigma(levels)
+		t.AddRow(levels, sigma, cnt, maxLoad, maxMem, fb)
+		t.CheckLE(fmt.Sprintf("k=%d load factor vs σ", levels), maxLoad, sigma, 1e-6)
+		t.CheckLE(fmt.Sprintf("k=%d mem factor vs σ", levels), maxMem, sigma, 1e-6)
 	}
 	t.Notes = append(t.Notes, "Theorem VI.3: both factors ≤ σ")
 	return t
@@ -424,11 +485,7 @@ func (s Suite) E9() *Table {
 // as the per-level migration overhead grows: the crossover the paper's
 // introduction motivates.
 func (s Suite) E10() *Table {
-	t := &Table{
-		ID:      "E10",
-		Title:   "Regime comparison on SMP-CMP (8 machines): makespan vs migration overhead",
-		Columns: []string{"overhead", "global", "partitioned", "semi-part", "clustered", "hierarchical"},
-	}
+	t := newTable("E10", "overhead", "global", "partitioned", "semi-part", "clustered", "hierarchical")
 	overheads := []float64{0, 0.1, 0.25, 0.5, 1.0, 2.0}
 	if s.Quick {
 		overheads = []float64{0, 0.5, 2.0}
@@ -500,7 +557,21 @@ func (s Suite) E10() *Table {
 		t.AddRow(fmt.Sprintf("%.2f", ovh),
 			format(global, gEx), format(part, pEx), format(semi, sEx),
 			format(clust, cEx), format(hierAll, hEx))
+		// Hierarchical never loses to any restricted regime: its family is
+		// a superset, and upper-bound fallbacks inherit smaller regimes.
+		if hierAll > 0 {
+			for _, p := range []struct {
+				name string
+				v    int64
+			}{{"global", global}, {"partitioned", part}, {"semi-part", semi}, {"clustered", clust}} {
+				if p.v > 0 {
+					t.CheckLE(fmt.Sprintf("ovh=%.2f hier vs %s", ovh, p.name),
+						float64(hierAll), float64(p.v), 0)
+				}
+			}
+		}
 	}
+	t.CheckGE("series length", float64(len(t.Rows)), 2, 0)
 	t.Notes = append(t.Notes,
 		"expected shape: global wins at overhead 0; partitioned wins at high overhead;",
 		"hierarchical ≤ every other regime (its family contains theirs); ≤x = upper bound (node cap hit)")
@@ -523,11 +594,7 @@ func min64pos(a, b int64) int64 {
 // E11 exercises the Section II 8-approximation on general (non-laminar)
 // masks; the measured ratio to the nonpreemptive LP bound stays ≤ 2.
 func (s Suite) E11() *Table {
-	t := &Table{
-		ID:      "E11",
-		Title:   "General masks: 8-approximation measured quality",
-		Columns: []string{"m", "n", "extra sets", "trials", "avg ALG/LP", "max ALG/LP"},
-	}
+	t := newTable("E11", "m", "n", "extra sets", "trials", "avg ALG/LP", "max ALG/LP")
 	rng := rand.New(rand.NewSource(s.Seed + 8))
 	for _, c := range [][3]int{{4, 10, 3}, {6, 16, 5}, {8, 24, 8}} {
 		m, n, extra := c[0], c[1], c[2]
@@ -551,6 +618,7 @@ func (s Suite) E11() *Table {
 			continue
 		}
 		t.AddRow(m, n, extra, cnt, sum/float64(cnt), max)
+		t.CheckLE(fmt.Sprintf("m=%d n=%d max ALG/LP", m, n), max, 2, 1e-7)
 	}
 	t.Notes = append(t.Notes, "LST guarantees ALG ≤ 2·LP; the paper's end-to-end bound is 8·OPT")
 	return t
@@ -559,11 +627,7 @@ func (s Suite) E11() *Table {
 // E12 profiles the solver: wall time of the LP binary search plus rounding
 // as instance size grows.
 func (s Suite) E12() *Table {
-	t := &Table{
-		ID:      "E12",
-		Title:   "Solver scaling: 2-approximation wall time",
-		Columns: []string{"topology", "m", "n", "LP vars", "T*", "time"},
-	}
+	t := newTable("E12", "topology", "m", "n", "LP vars", "T*", "time")
 	rng := rand.New(rand.NewSource(s.Seed + 9))
 	sizes := [][2]int{{8, 40}, {8, 80}, {16, 80}, {16, 160}, {32, 160}}
 	if s.Quick {
@@ -590,57 +654,13 @@ func (s Suite) E12() *Table {
 		res, err := approx.TwoApprox(in)
 		if err != nil {
 			t.AddRow("smp-cmp", m, n, "-", "-", "error: "+err.Error())
+			t.CheckFail(fmt.Sprintf("m=%d n=%d solve", m, n), err.Error())
 			continue
 		}
 		elapsed := time.Since(start)
 		nvars := res.Instance.N() * res.Instance.Family.Len()
 		t.AddRow("smp-cmp", m, n, nvars, res.LPBound, elapsed.Round(time.Millisecond).String())
 	}
+	t.CheckGE("rows produced", float64(len(t.Rows)), 1, 0)
 	return t
-}
-
-// All runs every experiment in order.
-func (s Suite) All() []*Table {
-	return []*Table{
-		s.E1(), s.E2(), s.E3(), s.E4(), s.E5(), s.E6(),
-		s.E7(), s.E8(), s.E9(), s.E10(), s.E11(), s.E12(),
-		s.E13(), s.E14(), s.E15(),
-	}
-}
-
-// ByID runs a single experiment by its id (e.g. "E7").
-func (s Suite) ByID(id string) (*Table, error) {
-	switch id {
-	case "E1":
-		return s.E1(), nil
-	case "E2":
-		return s.E2(), nil
-	case "E3":
-		return s.E3(), nil
-	case "E4":
-		return s.E4(), nil
-	case "E5":
-		return s.E5(), nil
-	case "E6":
-		return s.E6(), nil
-	case "E7":
-		return s.E7(), nil
-	case "E8":
-		return s.E8(), nil
-	case "E9":
-		return s.E9(), nil
-	case "E10":
-		return s.E10(), nil
-	case "E11":
-		return s.E11(), nil
-	case "E12":
-		return s.E12(), nil
-	case "E13":
-		return s.E13(), nil
-	case "E14":
-		return s.E14(), nil
-	case "E15":
-		return s.E15(), nil
-	}
-	return nil, fmt.Errorf("expt: unknown experiment %q", id)
 }

@@ -13,16 +13,29 @@ import (
 	"hsp/internal/workload"
 )
 
+// The extension experiments E13–E15 (ablation, affinity sweep, execution
+// simulation) register alongside the core suite of experiments.go.
+func init() {
+	Register(Experiment{ID: "E13",
+		Title: "Ablation: LP rounding (Thm V.2) vs greedy heuristics, ratio to T*",
+		Claim: "no algorithm beats the LP lower bound; the 2-approximation stays within 2·T*",
+		Run:   Suite.E13})
+	Register(Experiment{ID: "E14",
+		Title: "Affinity restrictions: makespan vs fraction of pinned jobs",
+		Claim: "pinning raises the LP bound while ALG/T* stays ≤ 2 throughout",
+		Run:   Suite.E14})
+	Register(Experiment{ID: "E15",
+		Title: "Execution simulation: migration costs vs mask allowances",
+		Claim: "mask allowances cover simulated event costs, increasingly so as the generator overhead grows",
+		Run:   Suite.E15})
+}
+
 // E13 is the ablation study: what does the LP-based 2-approximation buy
 // over practical greedy heuristics? Every algorithm is normalized by the
 // LP lower bound T* of the same instance.
 func (s Suite) E13() *Table {
-	t := &Table{
-		ID:    "E13",
-		Title: "Ablation: LP rounding (Thm V.2) vs greedy heuristics, ratio to T*",
-		Columns: []string{"topology", "n", "trials",
-			"2approx", "LPT-part", "greedy", "greedy+LS", "LP wins"},
-	}
+	t := newTable("E13", "topology", "n", "trials",
+		"2approx", "LPT-part", "greedy", "greedy+LS", "LP wins")
 	rng := rand.New(rand.NewSource(s.Seed + 13))
 	for _, topo := range []workload.Topology{workload.SemiPartitioned, workload.SMPCMP} {
 		for _, n := range []int{10, 24} {
@@ -67,8 +80,17 @@ func (s Suite) E13() *Table {
 				sums[0]/float64(cnt), sums[1]/float64(cnt),
 				sums[2]/float64(cnt), sums[3]/float64(cnt),
 				fmt.Sprintf("%d/%d", wins, cnt))
+			// Nothing beats the LP lower bound; the certified algorithm
+			// stays within its factor-2 guarantee.
+			for i, name := range []string{"2approx", "LPT-part", "greedy", "greedy+LS"} {
+				t.CheckGE(fmt.Sprintf("%s n=%d %s ≥ T*", topo, n, name),
+					sums[i]/float64(cnt), 1, 1e-9)
+			}
+			t.CheckLE(fmt.Sprintf("%s n=%d 2approx ratio", topo, n),
+				sums[0]/float64(cnt), 2, 1e-7)
 		}
 	}
+	t.CheckGE("rows produced", float64(len(t.Rows)), 1, 0)
 	t.Notes = append(t.Notes,
 		"columns are average makespan / T*; 'LP wins' counts instances where the",
 		"2-approximation matches or beats every heuristic")
@@ -80,17 +102,15 @@ func (s Suite) E13() *Table {
 // increase the optimal makespan; the LP bound and the 2-approximation
 // must track each other throughout.
 func (s Suite) E14() *Table {
-	t := &Table{
-		ID:      "E14",
-		Title:   "Affinity restrictions: makespan vs fraction of pinned jobs",
-		Columns: []string{"pin fraction", "trials", "avg T*", "avg ALG", "avg ALG/T*", "max ALG/T*"},
-	}
+	t := newTable("E14", "pin fraction", "trials", "avg T*", "avg ALG", "avg ALG/T*", "max ALG/T*")
 	fracs := []float64{0, 0.25, 0.5, 0.75, 1}
 	if s.Quick {
 		fracs = []float64{0, 0.5, 1}
 	}
 	rng := rand.New(rand.NewSource(s.Seed + 14))
-	for _, pin := range fracs {
+	var firstAvgT, lastAvgT float64
+	haveBase := false
+	for i, pin := range fracs {
 		trials := s.trials(12)
 		var sumT, sumA, sumR, maxR float64
 		cnt := 0
@@ -126,6 +146,20 @@ func (s Suite) E14() *Table {
 		}
 		t.AddRow(fmt.Sprintf("%.2f", pin), cnt,
 			sumT/float64(cnt), sumA/float64(cnt), sumR/float64(cnt), maxR)
+		t.CheckLE(fmt.Sprintf("pin=%.2f max ALG/T*", pin), maxR, 2, 1e-7)
+		if i == 0 {
+			firstAvgT = sumT / float64(cnt)
+			haveBase = true
+		}
+		lastAvgT = sumT / float64(cnt)
+	}
+	t.CheckGE("series length", float64(len(t.Rows)), 2, 0)
+	// Full pinning must not lower the average LP bound versus no pinning;
+	// the unpinned baseline has to exist for the comparison to mean that.
+	if haveBase {
+		t.CheckGE("pinned avg T* vs unpinned", lastAvgT, firstAvgT, 1e-9)
+	} else {
+		t.CheckFail("pinned avg T* vs unpinned", "pin=0 baseline missing")
 	}
 	t.Notes = append(t.Notes, "pinning restricts masks to one subtree; T* grows, the ratio stays ≤ 2")
 	return t
@@ -138,18 +172,16 @@ func (s Suite) E14() *Table {
 // schedule actually incurs once the generator's per-level overhead is
 // commensurate with the latencies.
 func (s Suite) E15() *Table {
-	t := &Table{
-		ID:    "E15",
-		Title: "Execution simulation: migration costs vs mask allowances",
-		Columns: []string{"gen overhead", "trials", "migrations", "preemptions",
-			"mig cost", "preempt cost", "covered jobs", "utilization"},
-	}
+	t := newTable("E15", "gen overhead", "trials", "migrations", "preemptions",
+		"mig cost", "preempt cost", "covered jobs", "utilization")
 	overheads := []float64{0.1, 0.3, 0.6, 1.0}
 	if s.Quick {
 		overheads = []float64{0.1, 0.6}
 	}
 	rng := rand.New(rand.NewSource(s.Seed + 15))
-	for _, ovh := range overheads {
+	var firstCov, lastCov float64
+	haveBase := false
+	for i, ovh := range overheads {
 		trials := s.trials(10)
 		var migs, preempts int
 		var migCost, preemptCost int64
@@ -202,6 +234,22 @@ func (s Suite) E15() *Table {
 		}
 		t.AddRow(fmt.Sprintf("%.1f", ovh), cnt, migs, preempts, migCost, preemptCost,
 			fmt.Sprintf("%d/%d", covered, jobs), util/float64(cnt))
+		avgUtil := util / float64(cnt)
+		t.CheckGE(fmt.Sprintf("ovh=%.1f utilization > 0", ovh), avgUtil, 1e-9, 0)
+		t.CheckLE(fmt.Sprintf("ovh=%.1f utilization ≤ 1", ovh), avgUtil, 1, 1e-9)
+		if i == 0 {
+			firstCov = float64(covered) / float64(jobs)
+			haveBase = true
+		}
+		lastCov = float64(covered) / float64(jobs)
+	}
+	t.CheckGE("series length", float64(len(t.Rows)), 2, 0)
+	// Coverage must not drop as the generator overhead rises; the
+	// lowest-overhead baseline has to exist for the trend to mean that.
+	if haveBase {
+		t.CheckGE("coverage trend", lastCov, firstCov, 1e-9)
+	} else {
+		t.CheckFail("coverage trend", "lowest-overhead baseline missing")
 	}
 	t.Notes = append(t.Notes,
 		"covered jobs: mask allowance ≥ simulated event cost; rises with the",

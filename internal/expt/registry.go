@@ -1,0 +1,121 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Experiment is a registered reproduction experiment: a stable ID, the
+// table title, the paper claim it checks, and the function that runs it.
+// Run receives the Suite configuration (trial counts, seed) and returns
+// the finished table, including its claim checks.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(Suite) *Table
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Experiment{}
+)
+
+// Register adds an experiment to the registry. It panics on a duplicate
+// or empty ID — registration happens from init functions, so a collision
+// is a programming error, not a runtime condition.
+func Register(e Experiment) {
+	if e.ID == "" {
+		panic("expt: Register with empty ID")
+	}
+	if e.Run == nil {
+		panic("expt: Register " + e.ID + " with nil Run")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.ID]; dup {
+		panic("expt: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Unregister removes an experiment by ID. It exists for tests that inject
+// synthetic experiments (e.g. a deliberately failing claim) and need to
+// restore the registry afterwards.
+func Unregister(id string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(registry, id)
+}
+
+// Lookup returns the experiment registered under id.
+func Lookup(id string) (Experiment, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[id]
+	return e, ok
+}
+
+// Experiments returns all registered experiments in suite order: "E<n>"
+// ids sorted numerically first, then any other ids lexicographically.
+func Experiments() []Experiment {
+	regMu.RLock()
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		ni, iok := experimentNum(out[i].ID)
+		nj, jok := experimentNum(out[j].ID)
+		switch {
+		case iok && jok:
+			return ni < nj
+		case iok != jok:
+			return iok
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// IDs returns the registered experiment ids in suite order.
+func IDs() []string {
+	es := Experiments()
+	ids := make([]string, len(es))
+	for i, e := range es {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+func experimentNum(id string) (int, bool) {
+	if !strings.HasPrefix(id, "E") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	return n, err == nil
+}
+
+// All runs every registered experiment in suite order, sequentially.
+// Runner is the parallel, isolated equivalent.
+func (s Suite) All() []*Table {
+	es := Experiments()
+	tables := make([]*Table, len(es))
+	for i, e := range es {
+		tables[i] = e.Run(s)
+	}
+	return tables
+}
+
+// ByID runs a single experiment by its id (e.g. "E7").
+func (s Suite) ByID(id string) (*Table, error) {
+	e, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("expt: unknown experiment %q", id)
+	}
+	return e.Run(s), nil
+}

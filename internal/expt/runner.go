@@ -1,0 +1,137 @@
+package expt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Runner executes registered experiments — any subset, sequentially or on
+// a bounded worker pool — and produces one Result per experiment. Each
+// experiment runs with a seed derived deterministically from the base
+// seed and its ID, so results are independent of worker count and
+// completion order: parallel and sequential runs of the same seed are
+// identical. A panicking experiment is isolated (StatusError) and the
+// rest of the suite continues.
+type Runner struct {
+	Suite Suite
+	// Workers bounds the pool; 0 means GOMAXPROCS, 1 forces sequential.
+	Workers int
+	// Timeout is the per-experiment deadline; 0 disables it. Experiments
+	// are not cancelable mid-run — on timeout the result is recorded as
+	// StatusTimeout and the abandoned goroutine finishes in the
+	// background (its result is discarded).
+	Timeout time.Duration
+}
+
+// DeriveSeed maps (base seed, experiment ID) to the seed that experiment
+// runs with: FNV-1a over the ID, mixed with the base via a splitmix64
+// finalizer. Stable across runs, processes and worker schedules.
+func DeriveSeed(base int64, id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	z := uint64(base) ^ h.Sum64()
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Run executes the experiments with the given ids (nil or empty = every
+// registered experiment, in suite order) and returns results in the same
+// order regardless of completion order. The only error is an unknown id —
+// experiment failures, panics and timeouts are reported in the results.
+func (r Runner) Run(ids []string) ([]Result, error) {
+	var exps []Experiment
+	if len(ids) == 0 {
+		exps = Experiments()
+	} else {
+		exps = make([]Experiment, len(ids))
+		for i, id := range ids {
+			e, ok := Lookup(id)
+			if !ok {
+				return nil, fmt.Errorf("expt: unknown experiment %q", id)
+			}
+			exps[i] = e
+		}
+	}
+	results := make([]Result, len(exps))
+	forEachBounded(len(exps), r.Workers, func(k int) {
+		results[k] = r.runOne(exps[k])
+	})
+	return results, nil
+}
+
+// outcome is the raw return of one isolated experiment execution.
+type outcome struct {
+	table *Table
+	panic any
+}
+
+// runIsolated executes e.Run under panic isolation.
+func runIsolated(e Experiment, s Suite) (out outcome) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = outcome{panic: p}
+		}
+	}()
+	return outcome{table: e.Run(s)}
+}
+
+func (r Runner) runOne(e Experiment) Result {
+	res := Result{
+		ID:    e.ID,
+		Title: e.Title,
+		Claim: e.Claim,
+		Seed:  DeriveSeed(r.Suite.Seed, e.ID),
+	}
+	s := r.Suite
+	s.Seed = res.Seed
+
+	start := time.Now()
+	var out outcome
+	if r.Timeout <= 0 {
+		// No deadline: run directly on this worker goroutine, so any
+		// sharedSem slot the caller holds stays accounted to running work
+		// and nested forEachTrial pools keep their parallelism headroom.
+		out = runIsolated(e, s)
+	} else {
+		// A deadline needs a separate run goroutine to select against. The
+		// waiter then holds the caller's slot on behalf of exactly one
+		// running experiment, so the global concurrency bound still holds.
+		done := make(chan outcome, 1)
+		go func() { done <- runIsolated(e, s) }()
+		timer := time.NewTimer(r.Timeout)
+		defer timer.Stop()
+		select {
+		case out = <-done:
+		case <-timer.C:
+			res.duration = time.Since(start)
+			res.Status = StatusTimeout
+			res.Error = fmt.Sprintf("exceeded %v deadline", r.Timeout)
+			return res
+		}
+	}
+	res.duration = time.Since(start)
+
+	switch {
+	case out.panic != nil:
+		res.Status = StatusError
+		res.Error = fmt.Sprintf("panic: %v", out.panic)
+	case out.table == nil:
+		res.Status = StatusError
+		res.Error = "experiment returned no table"
+	default:
+		t := out.table
+		res.Rows = len(t.Rows)
+		res.Checks = t.Checks
+		res.Table = &TableJSON{Columns: t.Columns, Rows: t.Rows, Notes: t.Notes}
+		if t.Failed() {
+			res.Status = StatusFail
+		} else {
+			res.Status = StatusPass
+		}
+	}
+	return res
+}

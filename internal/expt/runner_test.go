@@ -1,0 +1,255 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastIDs is a subset cheap enough to run repeatedly in tests.
+var fastIDs = []string{"E1", "E7"}
+
+func TestRunnerSubsetSelection(t *testing.T) {
+	r := Runner{Suite: Suite{Quick: true, Seed: 7}}
+	results, err := r.Run(fastIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID != "E1" || results[1].ID != "E7" {
+		t.Fatalf("subset wrong: %+v", results)
+	}
+	for _, res := range results {
+		if res.Status != StatusPass {
+			t.Fatalf("%s: status %s (%s)", res.ID, res.Status, res.Error)
+		}
+		if res.Rows == 0 || res.Table == nil || len(res.Checks) == 0 {
+			t.Fatalf("%s: incomplete result %+v", res.ID, res)
+		}
+		if res.Duration() <= 0 {
+			t.Fatalf("%s: no wall time captured", res.ID)
+		}
+	}
+}
+
+func TestRunnerUnknownID(t *testing.T) {
+	r := Runner{Suite: Suite{Quick: true, Seed: 7}}
+	if _, err := r.Run([]string{"E99"}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	a := DeriveSeed(7, "E1")
+	if a != DeriveSeed(7, "E1") {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if a == DeriveSeed(7, "E2") {
+		t.Fatal("different experiments share a seed")
+	}
+	if a == DeriveSeed(8, "E1") {
+		t.Fatal("different base seeds collide")
+	}
+}
+
+func jsonFor(t *testing.T, r Runner, ids []string) []byte {
+	t.Helper()
+	results, err := r.Run(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results, JSONOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRunnerDeterministicAcrossWorkers(t *testing.T) {
+	seq := jsonFor(t, Runner{Suite: Suite{Quick: true, Seed: 7}, Workers: 1}, fastIDs)
+	par := jsonFor(t, Runner{Suite: Suite{Quick: true, Seed: 7}, Workers: 4}, fastIDs)
+	again := jsonFor(t, Runner{Suite: Suite{Quick: true, Seed: 7}, Workers: 4}, fastIDs)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel JSON differs from sequential:\n%s\n---\n%s", seq, par)
+	}
+	if !bytes.Equal(par, again) {
+		t.Fatal("repeated parallel runs differ")
+	}
+	other := jsonFor(t, Runner{Suite: Suite{Quick: true, Seed: 8}, Workers: 1}, fastIDs)
+	if bytes.Equal(seq, other) {
+		t.Fatal("different base seed produced identical output — seeds not applied")
+	}
+}
+
+func TestRunnerPanicIsolation(t *testing.T) {
+	Register(Experiment{ID: "ZPANIC", Title: "panics", Claim: "never",
+		Run: func(Suite) *Table { panic("kaboom") }})
+	defer Unregister("ZPANIC")
+
+	r := Runner{Suite: Suite{Quick: true, Seed: 7}, Workers: 2}
+	results, err := r.Run([]string{"E1", "ZPANIC", "E7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusPass || results[2].Status != StatusPass {
+		t.Fatalf("panic killed healthy experiments: %+v", results)
+	}
+	bad := results[1]
+	if bad.Status != StatusError || !strings.Contains(bad.Error, "kaboom") {
+		t.Fatalf("panic not isolated: %+v", bad)
+	}
+}
+
+func TestRunnerPanicInTrialPool(t *testing.T) {
+	// A panic on a forEachTrial worker goroutine must surface on the
+	// experiment's goroutine and become StatusError — not kill the
+	// process past the Runner's isolation.
+	Register(Experiment{ID: "ZTRIALPANIC", Title: "panics in trial pool",
+		Run: func(Suite) *Table {
+			forEachTrial(8, func(k int) {
+				if k == 3 {
+					panic("trial kaboom")
+				}
+			})
+			return &Table{ID: "ZTRIALPANIC"}
+		}})
+	defer Unregister("ZTRIALPANIC")
+
+	r := Runner{Suite: Suite{Quick: true, Seed: 7}, Workers: 2}
+	results, err := r.Run([]string{"E1", "ZTRIALPANIC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusPass {
+		t.Fatalf("trial panic hit healthy experiment: %+v", results[0])
+	}
+	bad := results[1]
+	if bad.Status != StatusError || !strings.Contains(bad.Error, "trial kaboom") {
+		t.Fatalf("trial panic not isolated: %+v", bad)
+	}
+}
+
+func TestRunnerNilTable(t *testing.T) {
+	Register(Experiment{ID: "ZNILTAB", Title: "returns nil",
+		Run: func(Suite) *Table { return nil }})
+	defer Unregister("ZNILTAB")
+
+	results, err := Runner{}.Run([]string{"ZNILTAB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusError {
+		t.Fatalf("nil table not flagged: %+v", results[0])
+	}
+}
+
+func TestRunnerTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	Register(Experiment{ID: "ZSLOW", Title: "hangs",
+		Run: func(Suite) *Table { <-release; return &Table{ID: "ZSLOW"} }})
+	defer Unregister("ZSLOW")
+
+	r := Runner{Suite: Suite{Quick: true, Seed: 7}, Timeout: 20 * time.Millisecond}
+	results, err := r.Run([]string{"ZSLOW"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusTimeout {
+		t.Fatalf("timeout not detected: %+v", results[0])
+	}
+}
+
+func TestRunnerFailingClaim(t *testing.T) {
+	Register(Experiment{ID: "ZFAIL", Title: "drifts", Claim: "2+2=5",
+		Run: func(Suite) *Table {
+			tab := &Table{ID: "ZFAIL", Columns: []string{"v"}}
+			tab.AddRow(4)
+			tab.CheckEq("arithmetic", 4, 5)
+			return tab
+		}})
+	defer Unregister("ZFAIL")
+
+	results, err := Runner{}.Run([]string{"ZFAIL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusFail {
+		t.Fatalf("failing claim not flagged: %+v", results[0])
+	}
+	if _, failed := Summarize(results); !failed {
+		t.Fatal("summary did not flag failure")
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	results, err := Runner{Suite: Suite{Quick: true, Seed: 7}}.Run(fastIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results, JSONOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(results) {
+		t.Fatalf("%d lines for %d results", len(lines), len(results))
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line: %v\n%s", err, line)
+		}
+		for _, key := range []string{"id", "status", "duration_ms", "rows", "checks", "seed"} {
+			if _, ok := rec[key]; !ok {
+				t.Fatalf("record missing %q: %s", key, line)
+			}
+		}
+		if _, ok := rec["table"]; ok {
+			t.Fatalf("stable record should omit table payload: %s", line)
+		}
+		if rec["duration_ms"].(float64) != 0 {
+			t.Fatalf("stable record has nonzero duration: %s", line)
+		}
+	}
+
+	// Full mode embeds the table payload and a measured duration.
+	buf.Reset()
+	if err := WriteJSON(&buf, results, JSONOptions{Full: true}); err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if err := json.Unmarshal([]byte(first), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec["table"]; !ok {
+		t.Fatalf("full record missing table: %s", first)
+	}
+	if rec["duration_ms"].(float64) <= 0 {
+		t.Fatalf("full record missing duration: %s", first)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []Result{
+		{ID: "A", Status: StatusPass},
+		{ID: "B", Status: StatusFail},
+		{ID: "C", Status: StatusError},
+		{ID: "D", Status: StatusTimeout},
+	}
+	line, failed := Summarize(results)
+	if !failed {
+		t.Fatal("mixed statuses must fail")
+	}
+	for _, want := range []string{"1/4", "1 failed", "1 errored", "1 timed out"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("summary %q missing %q", line, want)
+		}
+	}
+	line, failed = Summarize(results[:1])
+	if failed || !strings.Contains(line, "1/1") {
+		t.Fatalf("all-pass summary wrong: %q %v", line, failed)
+	}
+}

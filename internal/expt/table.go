@@ -1,13 +1,18 @@
-// Package expt defines the reproduction experiment suite E1–E12 (see
-// DESIGN.md §4 and EXPERIMENTS.md): one experiment per quantitative claim,
-// worked example or bound of the paper, each emitting a printable table or
-// series. cmd/hbench runs them all; bench_test.go wraps each in a
-// testing.B benchmark.
+// Package expt defines the reproduction experiment suite E1–E15 (see
+// EXPERIMENTS.md for the mapping to the paper's claims): one experiment
+// per quantitative claim, worked example or bound of the paper, each
+// emitting a table with typed claim checks. Experiments register
+// themselves in a registry (registry.go); Runner (runner.go) executes any
+// subset on a bounded worker pool with deterministic per-experiment seeds,
+// panic isolation and wall-time capture, producing machine-readable
+// Results (result.go). cmd/hbench drives the runner; bench_test.go wraps
+// each experiment in a testing.B benchmark.
 package expt
 
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 )
@@ -19,22 +24,100 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	Checks  []Check
+}
+
+// Check is one typed claim check: an observed quantity compared against
+// the paper's expected value (with tolerance where the comparison is
+// numeric). A failing check means the reproduction has drifted from the
+// paper's claim — cmd/hbench exits nonzero and CI gates on it.
+type Check struct {
+	Name     string `json:"name"`
+	Observed string `json:"observed"`
+	Expected string `json:"expected"`
+	Pass     bool   `json:"pass"`
+}
+
+func fmtNum(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}
+
+// CheckEq records an exact-equality claim check (cells are compared after
+// AddRow-style stringification, so ints and strings compare naturally).
+func (t *Table) CheckEq(name string, observed, expected any) {
+	obs, exp := cell(observed), cell(expected)
+	t.Checks = append(t.Checks, Check{
+		Name: name, Observed: obs, Expected: "= " + exp, Pass: obs == exp,
+	})
+}
+
+// CheckLE records an upper-bound claim check: observed ≤ bound + tol.
+func (t *Table) CheckLE(name string, observed, bound, tol float64) {
+	t.Checks = append(t.Checks, Check{
+		Name:     name,
+		Observed: fmtNum(observed),
+		Expected: "<= " + fmtNum(bound),
+		Pass:     observed <= bound+tol,
+	})
+}
+
+// CheckGE records a lower-bound claim check: observed ≥ bound − tol.
+func (t *Table) CheckGE(name string, observed, bound, tol float64) {
+	t.Checks = append(t.Checks, Check{
+		Name:     name,
+		Observed: fmtNum(observed),
+		Expected: ">= " + fmtNum(bound),
+		Pass:     observed >= bound-tol,
+	})
+}
+
+// CheckWithin records a numeric-equality claim check with tolerance:
+// |observed − expected| ≤ tol.
+func (t *Table) CheckWithin(name string, observed, expected, tol float64) {
+	t.Checks = append(t.Checks, Check{
+		Name:     name,
+		Observed: fmtNum(observed),
+		Expected: "≈ " + fmtNum(expected),
+		Pass:     observed >= expected-tol && observed <= expected+tol,
+	})
+}
+
+// CheckFail records an unconditionally failing check — the error paths
+// where an experiment could not compute the quantity a claim needs.
+func (t *Table) CheckFail(name, observed string) {
+	t.Checks = append(t.Checks, Check{
+		Name: name, Observed: observed, Expected: "no error", Pass: false,
+	})
+}
+
+// Failed reports whether any claim check failed.
+func (t *Table) Failed() bool {
+	for _, c := range t.Checks {
+		if !c.Pass {
+			return true
+		}
+	}
+	return false
 }
 
 // AddRow appends a row of stringified cells.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
-		switch v := c.(type) {
-		case string:
-			row[i] = v
-		case float64:
-			row[i] = fmt.Sprintf("%.3f", v)
-		default:
-			row[i] = fmt.Sprint(v)
-		}
+		row[i] = cell(c)
 	}
 	t.Rows = append(t.Rows, row)
+}
+
+func cell(c any) string {
+	switch v := c.(type) {
+	case string:
+		return v
+	case float64:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprint(v)
+	}
 }
 
 // Fprint renders the table as aligned text.
@@ -46,6 +129,13 @@ func (t *Table) Fprint(w io.Writer) {
 		fmt.Fprintln(tw, strings.Join(r, "\t"))
 	}
 	tw.Flush()
+	for _, c := range t.Checks {
+		status := "ok"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  check [%s]: %s: %s (want %s)\n", status, c.Name, c.Observed, c.Expected)
+	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
