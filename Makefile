@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench-quick ci
+.PHONY: all build vet fmt-check lint-docs test race bench-quick bench-packs ci
 
 all: build vet test
 
@@ -17,15 +17,33 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Every package (internal/* and cmd/*) must carry a package-level doc
+# comment ("// Package ..." / "// Command ..."), and internal/expt must
+# keep its doc.go (the registry/runner/pack lifecycle reference).
+lint-docs: vet
+	@fail=0; for d in internal/*/ cmd/*/; do \
+		if ! grep -qE '^// (Package|Command) ' $$d*.go; then \
+			echo "missing package-level doc comment in $$d"; fail=1; fi; \
+	done; \
+	if [ ! -f internal/expt/doc.go ]; then \
+		echo "internal/expt/doc.go missing"; fail=1; fi; \
+	exit $$fail
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# The reproduction gate: the quick suite on the parallel runner, stable
-# JSON records, nonzero exit on any claim-check failure.
+# The reproduction gate: the quick paper suite on the parallel runner,
+# stable JSON records, nonzero exit on any claim-check failure, and a
+# drift-checked record appended to the BENCH_hbench.json trajectory.
 bench-quick:
-	$(GO) run ./cmd/hbench -quick -parallel -json
+	$(GO) run ./cmd/hbench -quick -parallel -json -bench-out BENCH_hbench.json
 
-ci: build vet fmt-check race bench-quick
+# The workload packs on a small budget, so every push exercises them.
+bench-packs:
+	$(GO) run ./cmd/hbench -quick -parallel -pack rt -json -bench-out BENCH_hbench.json
+	$(GO) run ./cmd/hbench -quick -parallel -pack memcap -json -bench-out BENCH_hbench.json
+
+ci: build vet fmt-check lint-docs race bench-quick bench-packs

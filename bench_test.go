@@ -8,6 +8,7 @@
 package hsp_test
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -24,7 +25,7 @@ func suite() expt.Suite { return expt.Suite{Quick: true, Seed: 7} }
 func BenchmarkE1PaperExamples(b *testing.B) {
 	var gap float64
 	for i := 0; i < b.N; i++ {
-		tab := suite().E1()
+		tab := suite().E1(context.Background())
 		vals := map[string]string{}
 		for _, r := range tab.Rows {
 			vals[r[0]] = r[1]
@@ -42,7 +43,7 @@ func BenchmarkE1PaperExamples(b *testing.B) {
 // BenchmarkE2SemiPartScheduler measures Algorithm 1 validity throughput.
 func BenchmarkE2SemiPartScheduler(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := suite().E2()
+		tab := suite().E2(context.Background())
 		for _, r := range tab.Rows {
 			if r[3] != r[2] {
 				b.Fatalf("invalid schedules in %v", r)
@@ -55,7 +56,7 @@ func BenchmarkE2SemiPartScheduler(b *testing.B) {
 func BenchmarkE3MigrationBounds(b *testing.B) {
 	var worstSlack float64
 	for i := 0; i < b.N; i++ {
-		tab := suite().E3()
+		tab := suite().E3(context.Background())
 		worstSlack = 1e9
 		for _, r := range tab.Rows {
 			mig, _ := strconv.Atoi(r[2])
@@ -74,7 +75,7 @@ func BenchmarkE3MigrationBounds(b *testing.B) {
 // BenchmarkE4HierScheduler measures Algorithms 2+3 validity throughput.
 func BenchmarkE4HierScheduler(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := suite().E4()
+		tab := suite().E4(context.Background())
 		for _, r := range tab.Rows {
 			if r[4] != r[3] {
 				b.Fatalf("invalid schedules in %v", r)
@@ -86,7 +87,7 @@ func BenchmarkE4HierScheduler(b *testing.B) {
 // BenchmarkE5PushDown measures Lemma V.1's push-down.
 func BenchmarkE5PushDown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := suite().E5()
+		tab := suite().E5(context.Background())
 		for _, r := range tab.Rows {
 			if r[2] != r[1] || r[3] != r[1] {
 				b.Fatalf("push-down failed: %v", r)
@@ -100,7 +101,7 @@ func BenchmarkE5PushDown(b *testing.B) {
 func BenchmarkE6TwoApprox(b *testing.B) {
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		tab := suite().E6()
+		tab := suite().E6(context.Background())
 		worst = 0
 		for _, r := range tab.Rows {
 			v, _ := strconv.ParseFloat(r[4], 64)
@@ -120,7 +121,7 @@ func BenchmarkE6TwoApprox(b *testing.B) {
 func BenchmarkE7IntegralityGapFamily(b *testing.B) {
 	var last float64
 	for i := 0; i < b.N; i++ {
-		tab := suite().E7()
+		tab := suite().E7(context.Background())
 		for _, r := range tab.Rows {
 			v, _ := strconv.ParseFloat(r[4], 64)
 			if v >= 2 {
@@ -137,7 +138,7 @@ func BenchmarkE7IntegralityGapFamily(b *testing.B) {
 func BenchmarkE8MemoryModel1(b *testing.B) {
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		tab := suite().E8()
+		tab := suite().E8(context.Background())
 		worst = 0
 		for _, r := range tab.Rows {
 			load, _ := strconv.ParseFloat(r[3], 64)
@@ -161,7 +162,7 @@ func BenchmarkE8MemoryModel1(b *testing.B) {
 func BenchmarkE9MemoryModel2(b *testing.B) {
 	var worstRel float64
 	for i := 0; i < b.N; i++ {
-		tab := suite().E9()
+		tab := suite().E9(context.Background())
 		worstRel = 0
 		for _, r := range tab.Rows {
 			sigma, _ := strconv.ParseFloat(r[1], 64)
@@ -184,7 +185,7 @@ func BenchmarkE9MemoryModel2(b *testing.B) {
 func BenchmarkE10RegimeComparison(b *testing.B) {
 	var globalSpread float64
 	for i := 0; i < b.N; i++ {
-		tab := suite().E10()
+		tab := suite().E10(context.Background())
 		if len(tab.Rows) < 2 {
 			b.Fatal("no crossover series")
 		}
@@ -205,7 +206,7 @@ func BenchmarkE10RegimeComparison(b *testing.B) {
 func BenchmarkE11GeneralMasks(b *testing.B) {
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		tab := suite().E11()
+		tab := suite().E11(context.Background())
 		worst = 0
 		for _, r := range tab.Rows {
 			v, _ := strconv.ParseFloat(r[5], 64)
@@ -249,7 +250,7 @@ func BenchmarkE12Scaling(b *testing.B) {
 func BenchmarkE13HeuristicAblation(b *testing.B) {
 	var lpRatio float64
 	for i := 0; i < b.N; i++ {
-		tab := suite().E13()
+		tab := suite().E13(context.Background())
 		if len(tab.Rows) == 0 {
 			b.Fatal("no ablation rows")
 		}
@@ -271,7 +272,7 @@ func BenchmarkE13HeuristicAblation(b *testing.B) {
 func BenchmarkE14AffinitySweep(b *testing.B) {
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		tab := suite().E14()
+		tab := suite().E14(context.Background())
 		worst = 0
 		for _, r := range tab.Rows {
 			v, _ := strconv.ParseFloat(r[5], 64)
@@ -291,7 +292,7 @@ func BenchmarkE14AffinitySweep(b *testing.B) {
 func BenchmarkE15Simulation(b *testing.B) {
 	var coverage float64
 	for i := 0; i < b.N; i++ {
-		tab := suite().E15()
+		tab := suite().E15(context.Background())
 		if len(tab.Rows) == 0 {
 			b.Fatal("no simulation rows")
 		}
@@ -312,7 +313,7 @@ func BenchmarkSuiteRunnerParallel(b *testing.B) {
 	var experiments float64
 	for i := 0; i < b.N; i++ {
 		r := expt.Runner{Suite: expt.Suite{Quick: true, Seed: 7}}
-		results, err := r.Run(nil)
+		results, err := r.Run(context.Background(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}

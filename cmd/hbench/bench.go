@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"hsp/internal/expt"
+)
+
+// benchRecord is one line of the BENCH_hbench.json trajectory: the
+// machine-readable summary of one hbench run, appended per invocation so
+// successive records chart the reproduction and its performance over
+// time. Statuses and per-experiment wall times are kept so the next run
+// can diff against this one (drift detection) without re-running.
+type benchRecord struct {
+	Schema int    `json:"schema"`
+	Time   string `json:"time"` // RFC 3339, UTC
+	// Key identifies comparable runs: pack, quick setting, seed and the
+	// exact experiment set. Drift is only computed against the previous
+	// record with the same key, so changing the seed or the -run subset
+	// starts a fresh trajectory instead of reporting spurious drift.
+	Key         string             `json:"key"`
+	Pack        string             `json:"pack"`
+	Quick       bool               `json:"quick"`
+	Seed        int64              `json:"seed"`
+	Workers     int                `json:"workers"`
+	GoVersion   string             `json:"go"`
+	Experiments int                `json:"experiments"`
+	Pass        int                `json:"pass"`
+	Fail        int                `json:"fail"`
+	Errors      int                `json:"errors"`
+	Timeouts    int                `json:"timeouts"`
+	Canceled    int                `json:"canceled"`
+	WallMS      float64            `json:"wall_ms"`
+	Statuses    map[string]string  `json:"statuses"`
+	DurationsMS map[string]float64 `json:"durations_ms"`
+	Drift       *driftReport       `json:"drift,omitempty"`
+}
+
+// driftReport compares this run against the previous record for the same
+// key. Status changes are authoritative — a pass that
+// stopped passing is reproduction drift (and the suite exits nonzero
+// through its own claim checks); the wall ratio is informational, since
+// timing noise is not drift.
+type driftReport struct {
+	Against       string   `json:"against"` // Time of the compared record
+	StatusChanges []string `json:"status_changes,omitempty"`
+	Regressed     bool     `json:"regressed"` // any pass -> non-pass change
+	WallRatio     float64  `json:"wall_ratio,omitempty"`
+}
+
+// appendBenchRecord appends one record to path (JSONL) and returns
+// human-readable drift lines versus the previous record for the same
+// key, if one exists.
+func appendBenchRecord(path, pack string, quick bool, seed int64, workers int, results []expt.Result, wall time.Duration) ([]string, error) {
+	ids := make([]string, len(results))
+	for i, r := range results {
+		ids[i] = r.ID
+	}
+	sort.Strings(ids)
+	rec := benchRecord{
+		Schema:      1,
+		Time:        time.Now().UTC().Format(time.RFC3339),
+		Key:         fmt.Sprintf("%s|quick=%t|seed=%d|%s", pack, quick, seed, strings.Join(ids, ",")),
+		Pack:        pack,
+		Quick:       quick,
+		Seed:        seed,
+		Workers:     workers,
+		GoVersion:   runtime.Version(),
+		Experiments: len(results),
+		WallMS:      float64(wall.Nanoseconds()) / 1e6,
+		Statuses:    make(map[string]string, len(results)),
+		DurationsMS: make(map[string]float64, len(results)),
+	}
+	for _, r := range results {
+		switch r.Status {
+		case expt.StatusPass:
+			rec.Pass++
+		case expt.StatusFail:
+			rec.Fail++
+		case expt.StatusError:
+			rec.Errors++
+		case expt.StatusTimeout:
+			rec.Timeouts++
+		case expt.StatusCanceled:
+			rec.Canceled++
+		}
+		rec.Statuses[r.ID] = string(r.Status)
+		rec.DurationsMS[r.ID] = float64(r.Duration().Nanoseconds()) / 1e6
+	}
+
+	prev, err := lastBenchRecord(path, rec.Key)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	if prev != nil {
+		d := &driftReport{Against: prev.Time}
+		// Same key means the same experiment set, so statuses line up
+		// one-to-one; iterate the sorted ids for deterministic output.
+		for _, id := range ids {
+			was, status := prev.Statuses[id], rec.Statuses[id]
+			if was != status {
+				d.StatusChanges = append(d.StatusChanges, fmt.Sprintf("%s: %s -> %s", id, was, status))
+				if was == string(expt.StatusPass) {
+					d.Regressed = true
+				}
+			}
+		}
+		if prev.WallMS > 0 {
+			d.WallRatio = rec.WallMS / prev.WallMS
+		}
+		rec.Drift = d
+		for _, c := range d.StatusChanges {
+			lines = append(lines, c)
+		}
+		if d.Regressed {
+			lines = append(lines, fmt.Sprintf("regression vs record of %s", prev.Time))
+		}
+	}
+
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	_, werr := f.Write(append(b, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return nil, werr
+	}
+	return lines, cerr
+}
+
+// lastBenchRecord scans path for the most recent record with the same
+// key. A missing file means no history (nil, nil); unparsable lines are
+// skipped rather than fatal, so a corrupted line cannot brick the
+// trajectory.
+func lastBenchRecord(path, key string) (*benchRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var last *benchRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec benchRecord
+		if json.Unmarshal(sc.Bytes(), &rec) != nil {
+			continue
+		}
+		if rec.Key == key {
+			r := rec
+			last = &r
+		}
+	}
+	return last, sc.Err()
+}

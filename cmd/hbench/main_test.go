@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -13,7 +15,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-quick", "-run", "E1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-run", "E1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -27,7 +29,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-run", "E99"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-run", "E99"}, &out); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 }
@@ -35,7 +37,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-quick", "-run", "E7", "-csv", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-run", "E7", "-csv", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "E7.csv"))
@@ -49,7 +51,7 @@ func TestRunWritesCSV(t *testing.T) {
 
 func TestJSONRecordsPerExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-quick", "-run", "E1,E7", "-json"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-run", "E1,E7", "-json"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -74,10 +76,10 @@ func TestJSONRecordsPerExperiment(t *testing.T) {
 
 func TestParallelJSONByteIdentical(t *testing.T) {
 	var seq, par bytes.Buffer
-	if err := run([]string{"-quick", "-run", "E1,E2,E7", "-json"}, &seq); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-run", "E1,E2,E7", "-json"}, &seq); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-quick", "-run", "E1,E2,E7", "-json", "-parallel"}, &par); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-run", "E1,E2,E7", "-json", "-parallel"}, &par); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
@@ -87,7 +89,7 @@ func TestParallelJSONByteIdentical(t *testing.T) {
 
 func TestFailingClaimExitsNonzero(t *testing.T) {
 	expt.Register(expt.Experiment{ID: "ZDRIFT", Title: "injected drift", Claim: "4=5",
-		Run: func(expt.Suite) *expt.Table {
+		Run: func(expt.Suite, context.Context) *expt.Table {
 			tab := &expt.Table{ID: "ZDRIFT", Columns: []string{"v"}}
 			tab.AddRow(4)
 			tab.CheckEq("arithmetic", 4, 5)
@@ -96,7 +98,7 @@ func TestFailingClaimExitsNonzero(t *testing.T) {
 	defer expt.Unregister("ZDRIFT")
 
 	var out bytes.Buffer
-	err := run([]string{"-quick", "-run", "ZDRIFT", "-json"}, &out)
+	err := run(context.Background(), []string{"-quick", "-run", "ZDRIFT", "-json"}, &out)
 	if err == nil {
 		t.Fatal("failing claim did not produce an error (nonzero exit)")
 	}
@@ -110,18 +112,182 @@ func TestFailingClaimExitsNonzero(t *testing.T) {
 }
 
 func TestTimeoutFlagExitsNonzero(t *testing.T) {
-	release := make(chan struct{})
-	defer close(release)
-	expt.Register(expt.Experiment{ID: "ZHANG", Title: "hangs",
-		Run: func(expt.Suite) *expt.Table { <-release; return &expt.Table{ID: "ZHANG"} }})
+	expt.Register(expt.Experiment{ID: "ZHANG", Title: "hangs until canceled",
+		Run: func(_ expt.Suite, ctx context.Context) *expt.Table {
+			<-ctx.Done()
+			return &expt.Table{ID: "ZHANG"}
+		}})
 	defer expt.Unregister("ZHANG")
 
 	var out bytes.Buffer
-	err := run([]string{"-run", "ZHANG", "-timeout", "20ms", "-json"}, &out)
+	err := run(context.Background(), []string{"-run", "ZHANG", "-timeout", "20ms", "-json"}, &out)
 	if err == nil {
 		t.Fatal("timeout did not produce an error")
 	}
 	if !strings.Contains(out.String(), `"status":"timeout"`) {
 		t.Fatalf("timeout record missing:\n%s", out.String())
+	}
+}
+
+func TestListPacks(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-list-packs"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"paper:", "rt:", "memcap:", "E1", "RT1", "MC1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("pack listing missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestUnknownPackRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-pack", "nope"}, &out); err == nil {
+		t.Fatal("unknown pack accepted")
+	}
+}
+
+func TestStreamMatchesBatchModuloOrder(t *testing.T) {
+	// -stream emits records in completion order; sorted, the bytes must
+	// equal the batch -json output for the same seed (which is in suite
+	// order and itself sorted here for comparison).
+	var batch, streamed bytes.Buffer
+	if err := run(context.Background(), []string{"-quick", "-run", "E1,E2,E7", "-json"}, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-quick", "-run", "E1,E2,E7", "-stream", "-parallel"}, &streamed); err != nil {
+		t.Fatal(err)
+	}
+	sortLines := func(b *bytes.Buffer) string {
+		lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+		sort.Strings(lines)
+		return strings.Join(lines, "\n")
+	}
+	if sortLines(&batch) != sortLines(&streamed) {
+		t.Fatalf("streamed records differ from batch modulo order:\n%s\n---\n%s", batch.String(), streamed.String())
+	}
+	if n := len(strings.Split(strings.TrimSpace(streamed.String()), "\n")); n != 3 {
+		t.Fatalf("streamed %d records, want 3", n)
+	}
+}
+
+func TestBenchOutAppendsAndDetectsDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_hbench.json")
+	args := []string{"-quick", "-run", "E1,E7", "-json", "-bench-out", path}
+	var out bytes.Buffer
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 bench records, got %d:\n%s", len(lines), data)
+	}
+	var first, second benchRecord
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Drift != nil {
+		t.Fatalf("first record has drift against nothing: %+v", first.Drift)
+	}
+	if first.Pass != 2 || first.Statuses["E1"] != "pass" || first.DurationsMS["E1"] <= 0 {
+		t.Fatalf("first record incomplete: %+v", first)
+	}
+	if second.Drift == nil || second.Drift.Against != first.Time {
+		t.Fatalf("second record not drift-checked against the first: %+v", second.Drift)
+	}
+	if second.Drift.Regressed || len(second.Drift.StatusChanges) != 0 {
+		t.Fatalf("identical reruns flagged as drift: %+v", second.Drift)
+	}
+	if second.Drift.WallRatio <= 0 {
+		t.Fatalf("wall ratio missing: %+v", second.Drift)
+	}
+}
+
+func TestBenchOutFlagsRegression(t *testing.T) {
+	// A pass -> fail transition between runs of the same key must be
+	// recorded as a regression in the appended record.
+	path := filepath.Join(t.TempDir(), "BENCH_hbench.json")
+	good := true
+	expt.Register(expt.Experiment{ID: "ZWOBBLE", Title: "wobbles", Claim: "stable",
+		Run: func(expt.Suite, context.Context) *expt.Table {
+			tab := &expt.Table{ID: "ZWOBBLE", Columns: []string{"v"}}
+			tab.AddRow(1)
+			if good {
+				tab.CheckEq("stable", 1, 1)
+			} else {
+				tab.CheckEq("stable", 1, 2)
+			}
+			return tab
+		}})
+	defer expt.Unregister("ZWOBBLE")
+
+	args := []string{"-quick", "-run", "ZWOBBLE", "-json", "-bench-out", path}
+	var out bytes.Buffer
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	good = false
+	if err := run(context.Background(), args, &out); err == nil {
+		t.Fatal("failing claim did not exit nonzero")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 bench records, got %d", len(lines))
+	}
+	var second benchRecord
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Drift == nil || !second.Drift.Regressed {
+		t.Fatalf("regression not flagged: %+v", second.Drift)
+	}
+	if len(second.Drift.StatusChanges) != 1 || !strings.Contains(second.Drift.StatusChanges[0], "pass -> fail") {
+		t.Fatalf("status change not recorded: %+v", second.Drift.StatusChanges)
+	}
+}
+
+func TestPackRTQuickGreen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pack run in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-quick", "-parallel", "-pack", "rt", "-json"}, &out); err != nil {
+		t.Fatalf("rt pack failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{`"id":"RT1"`, `"id":"RT2"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("rt pack output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestPackMemcapQuickGreen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pack run in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-quick", "-parallel", "-pack", "memcap", "-json"}, &out); err != nil {
+		t.Fatalf("memcap pack failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{`"id":"MC1"`, `"id":"MC2"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("memcap pack output missing %s:\n%s", want, out.String())
+		}
 	}
 }

@@ -18,6 +18,7 @@
 package approx
 
 import (
+	"context"
 	"fmt"
 
 	"hsp/internal/hier"
@@ -41,11 +42,19 @@ type Result struct {
 
 // TwoApprox runs the Theorem V.2 pipeline on a hierarchical instance.
 func TwoApprox(in *model.Instance) (*Result, error) {
+	return TwoApproxCtx(context.Background(), in)
+}
+
+// TwoApproxCtx is TwoApprox under a context: the dominant stages — the
+// binary search over LP relaxations and the unrelated-machines vertex LP —
+// poll ctx between simplex pivots and abort with an error wrapping
+// ctx.Err() once it is done.
+func TwoApproxCtx(ctx context.Context, in *model.Instance) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("approx: %w", err)
 	}
 	ins := in.WithSingletons()
-	tStar, frac, err := relax.MinFeasibleT(ins)
+	tStar, frac, err := relax.MinFeasibleTCtx(ctx, ins)
 	if err != nil {
 		return nil, fmt.Errorf("approx: %w", err)
 	}
@@ -63,7 +72,7 @@ func TwoApprox(in *model.Instance) (*Result, error) {
 	}
 
 	u := singletonProjection(ins)
-	ok, x, err := unrelated.FeasibleLP(u, tStar)
+	ok, x, err := unrelated.FeasibleLPCtx(ctx, u, tStar)
 	if err != nil {
 		return nil, fmt.Errorf("approx: unrelated relaxation: %w", err)
 	}

@@ -1,0 +1,24 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hsp/internal/model"
+)
+
+// TestSolveCtxCanceled: a pre-canceled context aborts the exact search
+// before (or during) the DFS with an error wrapping context.Canceled.
+func TestSolveCtxCanceled(t *testing.T) {
+	in := model.ExampleV1(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := SolveCtx(ctx, in, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled solve returned %v, want context.Canceled", err)
+	}
+	// And the uncanceled path still finds the optimum.
+	if _, opt, err := Solve(in, Options{}); err != nil || opt <= 0 {
+		t.Fatalf("background solve failed: opt=%d err=%v", opt, err)
+	}
+}

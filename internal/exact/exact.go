@@ -9,6 +9,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -33,7 +34,14 @@ func (o Options) maxNodes() int {
 
 // Solve returns an optimal assignment and the optimal makespan.
 func Solve(in *model.Instance, opts Options) (model.Assignment, int64, error) {
-	lo, _, err := relax.MinFeasibleT(in)
+	return SolveCtx(context.Background(), in, opts)
+}
+
+// SolveCtx is Solve under a context: the LP seeding, the binary search
+// and the branch-and-bound all poll ctx, so a canceled caller abandons
+// the search within a few thousand DFS nodes (the error wraps ctx.Err()).
+func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (model.Assignment, int64, error) {
+	lo, _, err := relax.MinFeasibleTCtx(ctx, in)
 	if err != nil {
 		return nil, 0, fmt.Errorf("exact: %w", err)
 	}
@@ -44,7 +52,7 @@ func Solve(in *model.Instance, opts Options) (model.Assignment, int64, error) {
 	var best model.Assignment
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		a, ok, err := FeasibleAssignment(in, mid, opts)
+		a, ok, err := FeasibleAssignmentCtx(ctx, in, mid, opts)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -55,7 +63,7 @@ func Solve(in *model.Instance, opts Options) (model.Assignment, int64, error) {
 		}
 	}
 	if best == nil {
-		a, ok, err := FeasibleAssignment(in, lo, opts)
+		a, ok, err := FeasibleAssignmentCtx(ctx, in, lo, opts)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -69,8 +77,15 @@ func Solve(in *model.Instance, opts Options) (model.Assignment, int64, error) {
 
 // FeasibleAssignment searches for an assignment satisfying (2a)-(2c) at
 // makespan T. The boolean reports success; an error reports only node-cap
-// exhaustion.
+// exhaustion or cancellation.
 func FeasibleAssignment(in *model.Instance, T int64, opts Options) (model.Assignment, bool, error) {
+	return FeasibleAssignmentCtx(context.Background(), in, T, opts)
+}
+
+// FeasibleAssignmentCtx is FeasibleAssignment under a context: the DFS
+// polls ctx every few thousand nodes and unwinds with an error wrapping
+// ctx.Err() once it is done.
+func FeasibleAssignmentCtx(ctx context.Context, in *model.Instance, T int64, opts Options) (model.Assignment, bool, error) {
 	f := in.Family
 	n := in.N()
 	nsets := f.Len()
@@ -144,6 +159,13 @@ func FeasibleAssignment(in *model.Instance, T int64, opts Options) (model.Assign
 		nodes++
 		if nodes > limit {
 			return false, fmt.Errorf("exact: node cap %d exceeded at T=%d", limit, T)
+		}
+		// Poll the context on a stride: a single node is tens of
+		// nanoseconds, so a per-node Err() call would dominate the search.
+		if nodes&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, fmt.Errorf("exact: canceled after %d nodes at T=%d: %w", nodes, T, err)
+			}
 		}
 		if k == n {
 			return true, nil

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -101,10 +102,10 @@ func newTable(id string, columns ...string) *Table {
 // E1 reproduces Examples II.1 and III.1: the semi-partitioned optimum is 2,
 // the unrelated projection's optimum is 3, and Algorithm 1 realizes the
 // makespan-2 schedule of Example III.1.
-func (s Suite) E1() *Table {
+func (s Suite) E1(ctx context.Context) *Table {
 	t := newTable("E1", "quantity", "value", "paper")
 	in := model.ExampleII1()
-	_, opt, err := exact.Solve(in, exact.Options{})
+	_, opt, err := exact.SolveCtx(ctx, in, exact.Options{})
 	if err != nil {
 		t.Notes = append(t.Notes, "exact solve failed: "+err.Error())
 		t.CheckFail("exact solve", err.Error())
@@ -123,14 +124,14 @@ func (s Suite) E1() *Table {
 	t.AddRow("OPT(I_u) unrelated", optU, 3)
 	t.CheckEq("OPT(I_u) unrelated", optU, 3)
 
-	tStar, _, err := relax.MinFeasibleT(in)
+	tStar, _, err := relax.MinFeasibleTCtx(ctx, in)
 	if err == nil {
 		t.AddRow("LP bound T*", tStar, 2)
 		t.CheckEq("LP bound T*", tStar, 2)
 	} else {
 		t.CheckFail("LP bound T*", err.Error())
 	}
-	res, err := approx.TwoApprox(in)
+	res, err := approx.TwoApproxCtx(ctx, in)
 	if err == nil {
 		t.AddRow("2-approx makespan", res.Makespan, "≤ 4")
 		t.CheckLE("2-approx makespan", float64(res.Makespan), 4, 0)
@@ -160,10 +161,13 @@ func (s Suite) E1() *Table {
 // E2 validates Theorem III.1 at scale: Algorithm 1 produces valid
 // schedules of makespan exactly T on random feasible semi-partitioned
 // solutions.
-func (s Suite) E2() *Table {
+func (s Suite) E2(ctx context.Context) *Table {
 	t := newTable("E2", "m", "n", "trials", "valid", "makespan=T")
 	rng := rand.New(rand.NewSource(s.Seed))
 	for _, mn := range [][2]int{{2, 8}, {4, 16}, {8, 32}, {12, 64}} {
+		if ctx.Err() != nil {
+			return t
+		}
 		m, n := mn[0], mn[1]
 		trials := s.trials(50)
 		valid, tight := 0, 0
@@ -191,10 +195,13 @@ func (s Suite) E2() *Table {
 
 // E3 measures Proposition III.2: migrations ≤ m−1, migrations+preemptions
 // ≤ 2m−2 (cyclic counting; wall-clock shown for comparison).
-func (s Suite) E3() *Table {
+func (s Suite) E3(ctx context.Context) *Table {
 	t := newTable("E3", "m", "trials", "max migr", "bound m-1", "max events", "bound 2m-2", "max wall events")
 	rng := rand.New(rand.NewSource(s.Seed + 1))
 	for _, m := range []int{2, 4, 8, 12, 16} {
+		if ctx.Err() != nil {
+			return t
+		}
 		trials := s.trials(60)
 		maxMig, maxEv, maxWall := 0, 0, 0
 		for k := 0; k < trials; k++ {
@@ -225,7 +232,7 @@ func (s Suite) E3() *Table {
 
 // E4 validates Theorem IV.3 on random laminar families and the canonical
 // clustered and SMP-CMP topologies.
-func (s Suite) E4() *Table {
+func (s Suite) E4(ctx context.Context) *Table {
 	t := newTable("E4", "topology", "m", "levels", "trials", "valid")
 	rng := rand.New(rand.NewSource(s.Seed + 2))
 	cases := []struct {
@@ -239,6 +246,9 @@ func (s Suite) E4() *Table {
 		{"random laminar", nil},
 	}
 	for _, c := range cases {
+		if ctx.Err() != nil {
+			return t
+		}
 		trials := s.trials(40)
 		valid := 0
 		var f *laminar.Family
@@ -272,16 +282,19 @@ func (s Suite) E4() *Table {
 
 // E5 validates Lemma V.1: push-down keeps the LP solution feasible and
 // singleton-supported.
-func (s Suite) E5() *Table {
+func (s Suite) E5(ctx context.Context) *Table {
 	t := newTable("E5", "topology", "trials", "feasible after", "singleton-only")
 	rng := rand.New(rand.NewSource(s.Seed + 3))
 	for _, topo := range []workload.Topology{workload.SemiPartitioned, workload.Clustered, workload.SMPCMP} {
 		trials := s.trials(25)
 		okFeas, okSing := 0, 0
 		for k := 0; k < trials; k++ {
+			if ctx.Err() != nil {
+				return t
+			}
 			in := generated(rng, topo, 0.4, 0)
 			ins := in.WithSingletons()
-			T, fr, err := relax.MinFeasibleT(ins)
+			T, fr, err := relax.MinFeasibleTCtx(ctx, ins)
 			if err != nil {
 				continue
 			}
@@ -306,11 +319,14 @@ func (s Suite) E5() *Table {
 
 // E6 measures Theorem V.2: the 2-approximation's ratio to the exact
 // optimum (small instances) and to the LP lower bound (larger ones).
-func (s Suite) E6() *Table {
+func (s Suite) E6(ctx context.Context) *Table {
 	t := newTable("E6", "topology", "n", "trials", "avg ALG/OPT", "max ALG/OPT", "avg ALG/T*", "max ALG/T*", "all ≤ 2")
 	rng := rand.New(rand.NewSource(s.Seed + 4))
 	for _, topo := range []workload.Topology{workload.SemiPartitioned, workload.Clustered, workload.SMPCMP} {
 		for _, n := range []int{6, 10} {
+			if ctx.Err() != nil {
+				return t
+			}
 			trials := s.trials(15)
 			// Draw all instances sequentially (determinism), then solve
 			// the trials — each dominated by an exact branch-and-bound —
@@ -325,11 +341,14 @@ func (s Suite) E6() *Table {
 			}
 			outs := make([]outcome, trials)
 			forEachTrial(trials, func(k int) {
-				res, err := approx.TwoApprox(ins[k])
+				if ctx.Err() != nil {
+					return
+				}
+				res, err := approx.TwoApproxCtx(ctx, ins[k])
 				if err != nil {
 					return
 				}
-				_, opt, err := exact.Solve(ins[k], exact.Options{MaxNodes: 2_000_000})
+				_, opt, err := exact.SolveCtx(ctx, ins[k], exact.Options{MaxNodes: 2_000_000})
 				if err != nil {
 					return
 				}
@@ -371,15 +390,18 @@ func (s Suite) E6() *Table {
 }
 
 // E7 reproduces Example V.1: the gap OPT(I_u)/OPT(I) = (2n−3)/(n−1) → 2.
-func (s Suite) E7() *Table {
+func (s Suite) E7(ctx context.Context) *Table {
 	t := newTable("E7", "n", "m", "OPT(I)", "OPT(I_u)", "gap", "paper gap (2n-3)/(n-1)")
 	ns := []int{3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
 	if s.Quick {
 		ns = []int{3, 6, 12, 24}
 	}
 	for _, n := range ns {
+		if ctx.Err() != nil {
+			return t
+		}
 		in := model.ExampleV1(n)
-		_, opt, err := exact.Solve(in, exact.Options{})
+		_, opt, err := exact.SolveCtx(ctx, in, exact.Options{})
 		if err != nil {
 			continue
 		}
@@ -403,7 +425,7 @@ func (s Suite) E7() *Table {
 }
 
 // E8 measures Theorem VI.1 (memory Model 1): makespan ≤ 3T, memory ≤ 3B.
-func (s Suite) E8() *Table {
+func (s Suite) E8(ctx context.Context) *Table {
 	t := newTable("E8", "m", "n", "trials", "max load factor", "max mem factor", "fallbacks")
 	rng := rand.New(rand.NewSource(s.Seed + 5))
 	for _, mn := range [][2]int{{3, 8}, {4, 12}, {6, 18}} {
@@ -412,12 +434,15 @@ func (s Suite) E8() *Table {
 		var maxLoad, maxMem float64
 		fb, cnt := 0, 0
 		for k := 0; k < trials; k++ {
+			if ctx.Err() != nil {
+				return t
+			}
 			in := generatedMN(rng, workload.SemiPartitioned, m, n, 0.3, 0)
 			m1, err := workload.AttachModel1(in, workload.MemoryConfig{MinSize: 1, MaxSize: 8, BudgetSlack: 1.4}, rng.Int63())
 			if err != nil {
 				continue
 			}
-			res, err := memcap.SolveModel1(m1)
+			res, err := memcap.SolveModel1Ctx(ctx, m1)
 			if err != nil {
 				continue
 			}
@@ -440,7 +465,7 @@ func (s Suite) E8() *Table {
 
 // E9 measures Theorem VI.3 (memory Model 2): factors ≤ σ = 2 + H_k per
 // hierarchy depth k.
-func (s Suite) E9() *Table {
+func (s Suite) E9(ctx context.Context) *Table {
 	t := newTable("E9", "levels k", "σ", "trials", "max load factor", "max mem factor", "fallbacks")
 	rng := rand.New(rand.NewSource(s.Seed + 6))
 	shapes := [][]int{{2, 2}, {2, 2, 2}, {2, 2, 2, 2}}
@@ -449,6 +474,9 @@ func (s Suite) E9() *Table {
 		var maxLoad, maxMem float64
 		fb, cnt, levels := 0, 0, 0
 		for k := 0; k < trials; k++ {
+			if ctx.Err() != nil {
+				return t
+			}
 			f, err := laminar.Hierarchy(br...)
 			if err != nil {
 				continue
@@ -459,7 +487,7 @@ func (s Suite) E9() *Table {
 			if err != nil {
 				continue
 			}
-			res, err := memcap.SolveModel2(m2)
+			res, err := memcap.SolveModel2Ctx(ctx, m2)
 			if err != nil {
 				continue
 			}
@@ -484,7 +512,7 @@ func (s Suite) E9() *Table {
 // E10 compares the scheduling regimes of Section II on an SMP-CMP cluster
 // as the per-level migration overhead grows: the crossover the paper's
 // introduction motivates.
-func (s Suite) E10() *Table {
+func (s Suite) E10(ctx context.Context) *Table {
 	t := newTable("E10", "overhead", "global", "partitioned", "semi-part", "clustered", "hierarchical")
 	overheads := []float64{0, 0.1, 0.25, 0.5, 1.0, 2.0}
 	if s.Quick {
@@ -496,6 +524,9 @@ func (s Suite) E10() *Table {
 	nJobs := 11
 	seed := rng.Int63()
 	for _, ovh := range overheads {
+		if ctx.Err() != nil {
+			return t
+		}
 		cfg := workload.Config{
 			Topology: workload.SMPCMP, Branching: []int{2, 2, 2},
 			Jobs: nJobs, Seed: seed, MinWork: 25, MaxWork: 40,
@@ -521,11 +552,11 @@ func (s Suite) E10() *Table {
 			if err != nil {
 				return inherited, false
 			}
-			if _, opt, err := exact.Solve(sub, exact.Options{MaxNodes: nodeBudget}); err == nil {
+			if _, opt, err := exact.SolveCtx(ctx, sub, exact.Options{MaxNodes: nodeBudget}); err == nil {
 				return opt, true
 			}
 			best := inherited
-			if res, err := approx.TwoApprox(sub); err == nil && (best <= 0 || res.Makespan < best) {
+			if res, err := approx.TwoApproxCtx(ctx, sub); err == nil && (best <= 0 || res.Makespan < best) {
 				best = res.Makespan
 			}
 			return best, false
@@ -593,7 +624,7 @@ func min64pos(a, b int64) int64 {
 
 // E11 exercises the Section II 8-approximation on general (non-laminar)
 // masks; the measured ratio to the nonpreemptive LP bound stays ≤ 2.
-func (s Suite) E11() *Table {
+func (s Suite) E11(ctx context.Context) *Table {
 	t := newTable("E11", "m", "n", "extra sets", "trials", "avg ALG/LP", "max ALG/LP")
 	rng := rand.New(rand.NewSource(s.Seed + 8))
 	for _, c := range [][3]int{{4, 10, 3}, {6, 16, 5}, {8, 24, 8}} {
@@ -602,6 +633,9 @@ func (s Suite) E11() *Table {
 		var sum, max float64
 		cnt := 0
 		for k := 0; k < trials; k++ {
+			if ctx.Err() != nil {
+				return t
+			}
 			g := workload.GenerateGeneral(m, n, extra, rng.Int63())
 			res, err := approx.EightApprox(g)
 			if err != nil {
@@ -626,7 +660,7 @@ func (s Suite) E11() *Table {
 
 // E12 profiles the solver: wall time of the LP binary search plus rounding
 // as instance size grows.
-func (s Suite) E12() *Table {
+func (s Suite) E12(ctx context.Context) *Table {
 	t := newTable("E12", "topology", "m", "n", "LP vars", "T*", "time")
 	rng := rand.New(rand.NewSource(s.Seed + 9))
 	sizes := [][2]int{{8, 40}, {8, 80}, {16, 80}, {16, 160}, {32, 160}}
@@ -634,6 +668,9 @@ func (s Suite) E12() *Table {
 		sizes = [][2]int{{8, 40}, {16, 80}}
 	}
 	for _, mn := range sizes {
+		if ctx.Err() != nil {
+			return t
+		}
 		m, n := mn[0], mn[1]
 		br := []int{2, 2, 2}
 		if m == 16 {
@@ -651,7 +688,7 @@ func (s Suite) E12() *Table {
 			continue
 		}
 		start := time.Now()
-		res, err := approx.TwoApprox(in)
+		res, err := approx.TwoApproxCtx(ctx, in)
 		if err != nil {
 			t.AddRow("smp-cmp", m, n, "-", "-", "error: "+err.Error())
 			t.CheckFail(fmt.Sprintf("m=%d n=%d solve", m, n), err.Error())

@@ -2,6 +2,7 @@ package expt
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -12,7 +13,7 @@ import (
 func quickSuite() Suite { return Suite{Quick: true, Seed: 7} }
 
 func TestE1ReproducesPaperNumbers(t *testing.T) {
-	tab := quickSuite().E1()
+	tab := quickSuite().E1(context.Background())
 	got := map[string]string{}
 	for _, r := range tab.Rows {
 		got[r[0]] = r[1]
@@ -32,7 +33,7 @@ func TestE1ReproducesPaperNumbers(t *testing.T) {
 }
 
 func TestE2AllValid(t *testing.T) {
-	tab := quickSuite().E2()
+	tab := quickSuite().E2(context.Background())
 	for _, r := range tab.Rows {
 		if r[3] != r[2] || r[4] != r[2] {
 			t.Fatalf("row %v: not all schedules valid/tight", r)
@@ -41,7 +42,7 @@ func TestE2AllValid(t *testing.T) {
 }
 
 func TestE3WithinBounds(t *testing.T) {
-	tab := quickSuite().E3()
+	tab := quickSuite().E3(context.Background())
 	for _, r := range tab.Rows {
 		mig, _ := strconv.Atoi(r[2])
 		bound, _ := strconv.Atoi(r[3])
@@ -55,7 +56,7 @@ func TestE3WithinBounds(t *testing.T) {
 }
 
 func TestE4AllValid(t *testing.T) {
-	tab := quickSuite().E4()
+	tab := quickSuite().E4(context.Background())
 	for _, r := range tab.Rows {
 		if r[4] != r[3] {
 			t.Fatalf("row %v: some schedules invalid", r)
@@ -64,7 +65,7 @@ func TestE4AllValid(t *testing.T) {
 }
 
 func TestE5AllPreserved(t *testing.T) {
-	tab := quickSuite().E5()
+	tab := quickSuite().E5(context.Background())
 	for _, r := range tab.Rows {
 		if r[2] != r[1] || r[3] != r[1] {
 			t.Fatalf("row %v: push-down failed on some trials", r)
@@ -73,7 +74,7 @@ func TestE5AllPreserved(t *testing.T) {
 }
 
 func TestE6RatiosWithinTwo(t *testing.T) {
-	tab := quickSuite().E6()
+	tab := quickSuite().E6(context.Background())
 	if len(tab.Rows) == 0 {
 		t.Fatal("E6 produced no rows")
 	}
@@ -89,7 +90,7 @@ func TestE6RatiosWithinTwo(t *testing.T) {
 }
 
 func TestE7GapSeries(t *testing.T) {
-	tab := quickSuite().E7()
+	tab := quickSuite().E7(context.Background())
 	if len(tab.Rows) < 3 {
 		t.Fatalf("E7 too short: %d rows", len(tab.Rows))
 	}
@@ -114,7 +115,7 @@ func TestE7GapSeries(t *testing.T) {
 }
 
 func TestE8WithinThree(t *testing.T) {
-	tab := quickSuite().E8()
+	tab := quickSuite().E8(context.Background())
 	for _, r := range tab.Rows {
 		load, _ := strconv.ParseFloat(r[3], 64)
 		mem, _ := strconv.ParseFloat(r[4], 64)
@@ -125,7 +126,7 @@ func TestE8WithinThree(t *testing.T) {
 }
 
 func TestE9WithinSigma(t *testing.T) {
-	tab := quickSuite().E9()
+	tab := quickSuite().E9(context.Background())
 	for _, r := range tab.Rows {
 		sigma, _ := strconv.ParseFloat(r[1], 64)
 		load, _ := strconv.ParseFloat(r[3], 64)
@@ -137,7 +138,7 @@ func TestE9WithinSigma(t *testing.T) {
 }
 
 func TestE10ShapeHolds(t *testing.T) {
-	tab := quickSuite().E10()
+	tab := quickSuite().E10(context.Background())
 	if len(tab.Rows) < 2 {
 		t.Fatal("E10 too short")
 	}
@@ -162,7 +163,7 @@ func TestE10ShapeHolds(t *testing.T) {
 }
 
 func TestE11WithinTwo(t *testing.T) {
-	tab := quickSuite().E11()
+	tab := quickSuite().E11(context.Background())
 	for _, r := range tab.Rows {
 		max, _ := strconv.ParseFloat(r[5], 64)
 		if max > 2.0000001 {
@@ -172,7 +173,7 @@ func TestE11WithinTwo(t *testing.T) {
 }
 
 func TestE12Runs(t *testing.T) {
-	tab := quickSuite().E12()
+	tab := quickSuite().E12(context.Background())
 	if len(tab.Rows) == 0 {
 		t.Fatal("E12 produced no rows")
 	}
@@ -184,7 +185,7 @@ func TestE12Runs(t *testing.T) {
 }
 
 func TestE13HeuristicsNeverBeatOptimality(t *testing.T) {
-	tab := quickSuite().E13()
+	tab := quickSuite().E13(context.Background())
 	if len(tab.Rows) == 0 {
 		t.Fatal("E13 empty")
 	}
@@ -208,7 +209,7 @@ func TestE13HeuristicsNeverBeatOptimality(t *testing.T) {
 }
 
 func TestE14PinningSweep(t *testing.T) {
-	tab := quickSuite().E14()
+	tab := quickSuite().E14(context.Background())
 	if len(tab.Rows) < 2 {
 		t.Fatal("E14 too short")
 	}
@@ -227,7 +228,7 @@ func TestE14PinningSweep(t *testing.T) {
 }
 
 func TestE15SimulationCoverage(t *testing.T) {
-	tab := quickSuite().E15()
+	tab := quickSuite().E15(context.Background())
 	if len(tab.Rows) < 2 {
 		t.Fatal("E15 too short")
 	}
@@ -269,10 +270,10 @@ func TestTableRendering(t *testing.T) {
 
 func TestByID(t *testing.T) {
 	s := quickSuite()
-	if _, err := s.ByID("E7"); err != nil {
+	if _, err := s.ByID(context.Background(), "E7"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ByID("E99"); err == nil {
+	if _, err := s.ByID(context.Background(), "E99"); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -33,7 +34,7 @@ func init() {
 // E13 is the ablation study: what does the LP-based 2-approximation buy
 // over practical greedy heuristics? Every algorithm is normalized by the
 // LP lower bound T* of the same instance.
-func (s Suite) E13() *Table {
+func (s Suite) E13(ctx context.Context) *Table {
 	t := newTable("E13", "topology", "n", "trials",
 		"2approx", "LPT-part", "greedy", "greedy+LS", "LP wins")
 	rng := rand.New(rand.NewSource(s.Seed + 13))
@@ -43,12 +44,15 @@ func (s Suite) E13() *Table {
 			var sums [4]float64
 			wins, cnt := 0, 0
 			for k := 0; k < trials; k++ {
+				if ctx.Err() != nil {
+					return t
+				}
 				in := generatedN(rng, topo, n, 0.4, 0.2).WithSingletons()
-				tStar, _, err := relax.MinFeasibleT(in)
+				tStar, _, err := relax.MinFeasibleTCtx(ctx, in)
 				if err != nil {
 					continue
 				}
-				res, err := approx.TwoApprox(in)
+				res, err := approx.TwoApproxCtx(ctx, in)
 				if err != nil {
 					continue
 				}
@@ -101,7 +105,7 @@ func (s Suite) E13() *Table {
 // processor-affinity scenario of the introduction. Restrictions can only
 // increase the optimal makespan; the LP bound and the 2-approximation
 // must track each other throughout.
-func (s Suite) E14() *Table {
+func (s Suite) E14(ctx context.Context) *Table {
 	t := newTable("E14", "pin fraction", "trials", "avg T*", "avg ALG", "avg ALG/T*", "max ALG/T*")
 	fracs := []float64{0, 0.25, 0.5, 0.75, 1}
 	if s.Quick {
@@ -115,6 +119,9 @@ func (s Suite) E14() *Table {
 		var sumT, sumA, sumR, maxR float64
 		cnt := 0
 		for k := 0; k < trials; k++ {
+			if ctx.Err() != nil {
+				return t
+			}
 			in, err := workload.Generate(workload.Config{
 				Topology:  workload.SMPCMP,
 				Branching: []int{2, 2, 2},
@@ -128,7 +135,7 @@ func (s Suite) E14() *Table {
 			if err != nil {
 				continue
 			}
-			res, err := approx.TwoApprox(in)
+			res, err := approx.TwoApproxCtx(ctx, in)
 			if err != nil {
 				continue
 			}
@@ -171,7 +178,7 @@ func (s Suite) E14() *Table {
 // P_j(α) minus the best singleton inside α — covers the event costs the
 // schedule actually incurs once the generator's per-level overhead is
 // commensurate with the latencies.
-func (s Suite) E15() *Table {
+func (s Suite) E15(ctx context.Context) *Table {
 	t := newTable("E15", "gen overhead", "trials", "migrations", "preemptions",
 		"mig cost", "preempt cost", "covered jobs", "utilization")
 	overheads := []float64{0.1, 0.3, 0.6, 1.0}
@@ -189,6 +196,9 @@ func (s Suite) E15() *Table {
 		var util float64
 		cnt := 0
 		for k := 0; k < trials; k++ {
+			if ctx.Err() != nil {
+				return t
+			}
 			in, err := workload.Generate(workload.Config{
 				Topology:  workload.SMPCMP,
 				Branching: []int{2, 2, 2},
@@ -207,7 +217,7 @@ func (s Suite) E15() *Table {
 			if err != nil {
 				continue
 			}
-			if a2, opt, err2 := exact.Solve(in, exact.Options{MaxNodes: 200_000}); err2 == nil && opt < res.Makespan {
+			if a2, opt, err2 := exact.SolveCtx(ctx, in, exact.Options{MaxNodes: 200_000}); err2 == nil && opt < res.Makespan {
 				res = &baselines.Result{Assignment: a2, Makespan: opt}
 			}
 			sc, err := hier.Schedule(in, res.Assignment, res.Makespan)

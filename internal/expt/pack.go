@@ -1,0 +1,96 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PaperPack is the pack every experiment belongs to unless it says
+// otherwise: the E1–E15 reproduction suite of the paper's claims.
+const PaperPack = "paper"
+
+// Pack is a named, registered group of experiments. The experiment
+// registry stays flat — an Experiment names its pack in its Pack field —
+// and a Pack descriptor documents the group: what workload it opens the
+// engine to and what a green run certifies. cmd/hbench selects a pack
+// with -pack; CI runs the paper pack as the reproduction gate and the
+// other packs as workload smoke tests.
+type Pack struct {
+	Name        string
+	Description string
+}
+
+var (
+	packMu       sync.RWMutex
+	packRegistry = map[string]Pack{}
+)
+
+// RegisterPack adds a pack descriptor. Like Register it panics on a
+// duplicate or empty name: packs register from init functions, so a
+// collision is a programming error.
+func RegisterPack(p Pack) {
+	if p.Name == "" {
+		panic("expt: RegisterPack with empty name")
+	}
+	packMu.Lock()
+	defer packMu.Unlock()
+	if _, dup := packRegistry[p.Name]; dup {
+		panic("expt: duplicate pack " + p.Name)
+	}
+	packRegistry[p.Name] = p
+}
+
+// LookupPack returns the pack registered under name.
+func LookupPack(name string) (Pack, bool) {
+	packMu.RLock()
+	defer packMu.RUnlock()
+	p, ok := packRegistry[name]
+	return p, ok
+}
+
+// Packs returns every registered pack, name-sorted with the paper pack
+// first — it is the default and the reproduction gate.
+func Packs() []Pack {
+	packMu.RLock()
+	out := make([]Pack, 0, len(packRegistry))
+	for _, p := range packRegistry {
+		out = append(out, p)
+	}
+	packMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if (out[i].Name == PaperPack) != (out[j].Name == PaperPack) {
+			return out[i].Name == PaperPack
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// PackIDs returns the ids of the experiments in the named pack, in suite
+// order. Unknown packs are an error that lists what is registered.
+func PackIDs(name string) ([]string, error) {
+	if _, ok := LookupPack(name); !ok {
+		known := Packs()
+		names := make([]string, len(known))
+		for i, p := range known {
+			names[i] = p.Name
+		}
+		return nil, fmt.Errorf("expt: unknown pack %q (registered: %v)", name, names)
+	}
+	var ids []string
+	for _, e := range Experiments() {
+		if e.Pack == name {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids, nil
+}
+
+func init() {
+	RegisterPack(Pack{
+		Name: PaperPack,
+		Description: "E1–E15: the paper-reproduction suite — one experiment per " +
+			"worked example, theorem constant or bound (the CI drift gate)",
+	})
+}

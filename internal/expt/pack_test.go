@@ -1,0 +1,99 @@
+package expt
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestPackRegistryShipsThreePacks(t *testing.T) {
+	packs := Packs()
+	if len(packs) < 3 {
+		t.Fatalf("want ≥ 3 packs, got %v", packs)
+	}
+	if packs[0].Name != PaperPack {
+		t.Fatalf("paper pack must sort first, got %v", packs)
+	}
+	for _, name := range []string{PaperPack, "rt", "memcap"} {
+		p, ok := LookupPack(name)
+		if !ok || p.Description == "" {
+			t.Fatalf("pack %q missing or undocumented", name)
+		}
+	}
+}
+
+func TestPackIDsPartitionTheRegistry(t *testing.T) {
+	paper, err := PackIDs(PaperPack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paper) < 15 || paper[0] != "E1" || paper[14] != "E15" {
+		t.Fatalf("paper pack wrong: %v", paper)
+	}
+	for _, id := range paper {
+		if !strings.HasPrefix(id, "E") {
+			t.Fatalf("non-paper experiment %q in paper pack", id)
+		}
+	}
+	rt, err := PackIDs("rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt) != 2 || rt[0] != "RT1" || rt[1] != "RT2" {
+		t.Fatalf("rt pack wrong: %v", rt)
+	}
+	mc, err := PackIDs("memcap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc) != 2 || mc[0] != "MC1" || mc[1] != "MC2" {
+		t.Fatalf("memcap pack wrong: %v", mc)
+	}
+}
+
+func TestPackIDsUnknownPack(t *testing.T) {
+	if _, err := PackIDs("nope"); err == nil || !strings.Contains(err.Error(), "registered") {
+		t.Fatalf("unknown pack not rejected usefully: %v", err)
+	}
+}
+
+func TestRegisterDefaultsToPaperPack(t *testing.T) {
+	Register(Experiment{ID: "ZPACKLESS", Title: "tmp",
+		Run: func(Suite, context.Context) *Table { return &Table{ID: "ZPACKLESS"} }})
+	defer Unregister("ZPACKLESS")
+	e, ok := Lookup("ZPACKLESS")
+	if !ok || e.Pack != PaperPack {
+		t.Fatalf("packless experiment not defaulted to paper: %+v", e)
+	}
+}
+
+func TestRegisterPackRejectsDuplicatesAndEmpty(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate", func() { RegisterPack(Pack{Name: PaperPack}) })
+	mustPanic("empty", func() { RegisterPack(Pack{}) })
+}
+
+func TestRunnerRunsPackSubset(t *testing.T) {
+	ids, err := PackIDs("rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick mode keeps this a smoke test; the full pack runs in CI.
+	r := Runner{Suite: Suite{Quick: true, Seed: 7}}
+	results, err := r.Run(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Status != StatusPass {
+			t.Fatalf("%s: %s (%s)", res.ID, res.Status, res.Error)
+		}
+	}
+}

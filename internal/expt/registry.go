@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -8,15 +9,23 @@ import (
 	"sync"
 )
 
-// Experiment is a registered reproduction experiment: a stable ID, the
-// table title, the paper claim it checks, and the function that runs it.
-// Run receives the Suite configuration (trial counts, seed) and returns
-// the finished table, including its claim checks.
+// Experiment is a registered experiment: a stable ID, the table title,
+// the claim it checks, the pack it belongs to, and the function that runs
+// it. Run receives the Suite configuration (trial counts, seed) and a
+// context it must honor — long-running loops and solver calls poll the
+// context and return early (with whatever partial table exists) once it
+// is done — and returns the finished table, including its claim checks.
+// The parameter order (Suite, then context) is what Go method expressions
+// produce for `func (s Suite) EN(ctx context.Context) *Table`, which is
+// how every experiment in this package is written.
 type Experiment struct {
 	ID    string
 	Title string
 	Claim string
-	Run   func(Suite) *Table
+	// Pack names the experiment pack this experiment belongs to; empty
+	// means PaperPack. See pack.go for the pack registry.
+	Pack string
+	Run  func(Suite, context.Context) *Table
 }
 
 var (
@@ -38,6 +47,9 @@ func Register(e Experiment) {
 	defer regMu.Unlock()
 	if _, dup := registry[e.ID]; dup {
 		panic("expt: duplicate experiment " + e.ID)
+	}
+	if e.Pack == "" {
+		e.Pack = PaperPack
 	}
 	registry[e.ID] = e
 }
@@ -101,21 +113,21 @@ func experimentNum(id string) (int, bool) {
 }
 
 // All runs every registered experiment in suite order, sequentially.
-// Runner is the parallel, isolated equivalent.
-func (s Suite) All() []*Table {
+// Runner is the parallel, isolated, cancelable equivalent.
+func (s Suite) All(ctx context.Context) []*Table {
 	es := Experiments()
 	tables := make([]*Table, len(es))
 	for i, e := range es {
-		tables[i] = e.Run(s)
+		tables[i] = e.Run(s, ctx)
 	}
 	return tables
 }
 
 // ByID runs a single experiment by its id (e.g. "E7").
-func (s Suite) ByID(id string) (*Table, error) {
+func (s Suite) ByID(ctx context.Context, id string) (*Table, error) {
 	e, ok := Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("expt: unknown experiment %q", id)
 	}
-	return e.Run(s), nil
+	return e.Run(s, ctx), nil
 }

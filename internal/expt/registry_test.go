@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -41,10 +42,10 @@ func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
 		fn()
 	}
 	mustPanic("duplicate", func() {
-		Register(Experiment{ID: "E1", Run: func(Suite) *Table { return nil }})
+		Register(Experiment{ID: "E1", Run: func(Suite, context.Context) *Table { return nil }})
 	})
 	mustPanic("empty id", func() {
-		Register(Experiment{Run: func(Suite) *Table { return nil }})
+		Register(Experiment{Run: func(Suite, context.Context) *Table { return nil }})
 	})
 	mustPanic("nil run", func() {
 		Register(Experiment{ID: "ZNIL"})
@@ -52,7 +53,7 @@ func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
 }
 
 func TestUnregisterRestoresRegistry(t *testing.T) {
-	Register(Experiment{ID: "ZTMP", Title: "tmp", Run: func(Suite) *Table {
+	Register(Experiment{ID: "ZTMP", Title: "tmp", Run: func(Suite, context.Context) *Table {
 		return &Table{ID: "ZTMP"}
 	}})
 	if _, ok := Lookup("ZTMP"); !ok {

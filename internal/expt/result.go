@@ -19,8 +19,12 @@ const (
 	// StatusError: the experiment panicked; the panic was isolated and the
 	// rest of the suite continued.
 	StatusError Status = "error"
-	// StatusTimeout: the experiment exceeded the per-experiment deadline.
+	// StatusTimeout: the experiment exceeded the per-experiment deadline
+	// and was cooperatively aborted via its context.
 	StatusTimeout Status = "timeout"
+	// StatusCanceled: the suite's context was canceled — either before the
+	// experiment started or while it was in flight.
+	StatusCanceled Status = "canceled"
 )
 
 // Result is the machine-readable record of one experiment run: what CI
@@ -65,20 +69,33 @@ type JSONOptions struct {
 	Full bool
 }
 
+// MarshalResult serializes one result as a single JSON record (no
+// trailing newline). Default options zero every volatile field — measured
+// duration and the table payload — so the record for a given seed is
+// byte-identical whether the suite ran sequentially, in parallel, or
+// streamed: two -stream runs differ at most in line order.
+func MarshalResult(r Result, opts JSONOptions) ([]byte, error) {
+	if opts.Full {
+		r.DurationMS = float64(r.duration.Nanoseconds()) / 1e6
+	} else {
+		r.DurationMS = 0
+		r.Table = nil
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("expt: marshal %s: %w", r.ID, err)
+	}
+	return b, nil
+}
+
 // WriteJSON emits one JSON record per result, one per line (JSONL), in
 // the given order. Field order is fixed by the struct, so default output
 // for a given seed is byte-deterministic (see JSONOptions).
 func WriteJSON(w io.Writer, results []Result, opts JSONOptions) error {
 	for _, r := range results {
-		if opts.Full {
-			r.DurationMS = float64(r.duration.Nanoseconds()) / 1e6
-		} else {
-			r.DurationMS = 0
-			r.Table = nil
-		}
-		b, err := json.Marshal(r)
+		b, err := MarshalResult(r, opts)
 		if err != nil {
-			return fmt.Errorf("expt: marshal %s: %w", r.ID, err)
+			return err
 		}
 		if _, err := w.Write(append(b, '\n')); err != nil {
 			return err
@@ -90,7 +107,7 @@ func WriteJSON(w io.Writer, results []Result, opts JSONOptions) error {
 // Summarize counts results by status and returns a one-line suite
 // verdict plus whether the suite as a whole failed.
 func Summarize(results []Result) (string, bool) {
-	var pass, fail, errs, timeouts int
+	var pass, fail, errs, timeouts, canceled int
 	for _, r := range results {
 		switch r.Status {
 		case StatusPass:
@@ -101,6 +118,8 @@ func Summarize(results []Result) (string, bool) {
 			errs++
 		case StatusTimeout:
 			timeouts++
+		case StatusCanceled:
+			canceled++
 		}
 	}
 	line := fmt.Sprintf("%d/%d experiments passed", pass, len(results))
@@ -112,6 +131,9 @@ func Summarize(results []Result) (string, bool) {
 	}
 	if timeouts > 0 {
 		line += fmt.Sprintf(", %d timed out", timeouts)
+	}
+	if canceled > 0 {
+		line += fmt.Sprintf(", %d canceled", canceled)
 	}
 	return line, pass != len(results)
 }

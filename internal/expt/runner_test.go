@@ -2,8 +2,10 @@ package expt
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -13,7 +15,7 @@ var fastIDs = []string{"E1", "E7"}
 
 func TestRunnerSubsetSelection(t *testing.T) {
 	r := Runner{Suite: Suite{Quick: true, Seed: 7}}
-	results, err := r.Run(fastIDs)
+	results, err := r.Run(context.Background(), fastIDs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +37,7 @@ func TestRunnerSubsetSelection(t *testing.T) {
 
 func TestRunnerUnknownID(t *testing.T) {
 	r := Runner{Suite: Suite{Quick: true, Seed: 7}}
-	if _, err := r.Run([]string{"E99"}); err == nil {
+	if _, err := r.Run(context.Background(), []string{"E99"}); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 }
@@ -55,7 +57,7 @@ func TestDeriveSeedStable(t *testing.T) {
 
 func jsonFor(t *testing.T, r Runner, ids []string) []byte {
 	t.Helper()
-	results, err := r.Run(ids)
+	results, err := r.Run(context.Background(), ids)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +86,11 @@ func TestRunnerDeterministicAcrossWorkers(t *testing.T) {
 
 func TestRunnerPanicIsolation(t *testing.T) {
 	Register(Experiment{ID: "ZPANIC", Title: "panics", Claim: "never",
-		Run: func(Suite) *Table { panic("kaboom") }})
+		Run: func(Suite, context.Context) *Table { panic("kaboom") }})
 	defer Unregister("ZPANIC")
 
 	r := Runner{Suite: Suite{Quick: true, Seed: 7}, Workers: 2}
-	results, err := r.Run([]string{"E1", "ZPANIC", "E7"})
+	results, err := r.Run(context.Background(), []string{"E1", "ZPANIC", "E7"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestRunnerPanicInTrialPool(t *testing.T) {
 	// experiment's goroutine and become StatusError — not kill the
 	// process past the Runner's isolation.
 	Register(Experiment{ID: "ZTRIALPANIC", Title: "panics in trial pool",
-		Run: func(Suite) *Table {
+		Run: func(Suite, context.Context) *Table {
 			forEachTrial(8, func(k int) {
 				if k == 3 {
 					panic("trial kaboom")
@@ -117,7 +119,7 @@ func TestRunnerPanicInTrialPool(t *testing.T) {
 	defer Unregister("ZTRIALPANIC")
 
 	r := Runner{Suite: Suite{Quick: true, Seed: 7}, Workers: 2}
-	results, err := r.Run([]string{"E1", "ZTRIALPANIC"})
+	results, err := r.Run(context.Background(), []string{"E1", "ZTRIALPANIC"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,10 +134,10 @@ func TestRunnerPanicInTrialPool(t *testing.T) {
 
 func TestRunnerNilTable(t *testing.T) {
 	Register(Experiment{ID: "ZNILTAB", Title: "returns nil",
-		Run: func(Suite) *Table { return nil }})
+		Run: func(Suite, context.Context) *Table { return nil }})
 	defer Unregister("ZNILTAB")
 
-	results, err := Runner{}.Run([]string{"ZNILTAB"})
+	results, err := Runner{}.Run(context.Background(), []string{"ZNILTAB"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,26 +146,134 @@ func TestRunnerNilTable(t *testing.T) {
 	}
 }
 
-func TestRunnerTimeout(t *testing.T) {
-	release := make(chan struct{})
-	defer close(release)
-	Register(Experiment{ID: "ZSLOW", Title: "hangs",
-		Run: func(Suite) *Table { <-release; return &Table{ID: "ZSLOW"} }})
+func TestRunnerTimeoutAbortsWork(t *testing.T) {
+	// The deadline cancels the experiment's context and the runner waits
+	// for the experiment to observe it and return — inFlight must be back
+	// to zero when Run returns, i.e. nothing is abandoned in the
+	// background.
+	var inFlight, ran atomic.Int32
+	Register(Experiment{ID: "ZSLOW", Title: "slow but cooperative",
+		Run: func(_ Suite, ctx context.Context) *Table {
+			inFlight.Add(1)
+			defer inFlight.Add(-1)
+			ran.Add(1)
+			<-ctx.Done()
+			return &Table{ID: "ZSLOW"}
+		}})
 	defer Unregister("ZSLOW")
 
 	r := Runner{Suite: Suite{Quick: true, Seed: 7}, Timeout: 20 * time.Millisecond}
-	results, err := r.Run([]string{"ZSLOW"})
+	results, err := r.Run(context.Background(), []string{"ZSLOW"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if results[0].Status != StatusTimeout {
 		t.Fatalf("timeout not detected: %+v", results[0])
 	}
+	if got := inFlight.Load(); got != 0 {
+		t.Fatalf("%d experiments still in flight after Run returned", got)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("experiment ran %d times", ran.Load())
+	}
+}
+
+func TestRunnerCancellationMidSuite(t *testing.T) {
+	// A context canceled mid-suite must (1) make the in-flight experiment
+	// return promptly — observed, not abandoned: the counter is zero once
+	// Run returns — and (2) mark it and everything not yet started
+	// StatusCanceled.
+	var inFlight atomic.Int32
+	started := make(chan struct{}, 1)
+	mk := func(id string) Experiment {
+		return Experiment{ID: id, Title: id,
+			Run: func(_ Suite, ctx context.Context) *Table {
+				inFlight.Add(1)
+				defer inFlight.Add(-1)
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				<-ctx.Done()
+				return &Table{ID: id}
+			}}
+	}
+	ids := []string{"ZC1", "ZC2", "ZC3"}
+	for _, id := range ids {
+		Register(mk(id))
+		defer Unregister(id)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started // the first experiment is in flight
+		cancel()
+	}()
+	defer cancel()
+
+	r := Runner{Suite: Suite{Quick: true, Seed: 7}, Workers: 1}
+	results, err := r.Run(ctx, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inFlight.Load(); got != 0 {
+		t.Fatalf("%d experiments still in flight after Run returned — goroutine leaked", got)
+	}
+	if len(results) != len(ids) {
+		t.Fatalf("%d results for %d ids", len(results), len(ids))
+	}
+	for i, res := range results {
+		if res.Status != StatusCanceled {
+			t.Fatalf("result %d: status %s, want canceled (%+v)", i, res.Status, res)
+		}
+	}
+	// The not-yet-started ones record why.
+	if !strings.Contains(results[2].Error, "before start") {
+		t.Fatalf("pending experiment not marked canceled-before-start: %+v", results[2])
+	}
+	if _, failed := Summarize(results); !failed {
+		t.Fatal("canceled suite must summarize as failed")
+	}
+}
+
+func TestRunnerSinkStreamsEveryResult(t *testing.T) {
+	// Sink calls are serialized by the runner, so appending without a
+	// lock is race-free (the race detector enforces this), and every
+	// result is delivered exactly once.
+	var streamed []Result
+	r := Runner{
+		Suite:   Suite{Quick: true, Seed: 7},
+		Workers: 4,
+		Sink:    func(res Result) { streamed = append(streamed, res) },
+	}
+	results, err := r.Run(context.Background(), fastIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(results) {
+		t.Fatalf("sink saw %d results, want %d", len(streamed), len(results))
+	}
+	byID := map[string]Result{}
+	for _, res := range streamed {
+		if _, dup := byID[res.ID]; dup {
+			t.Fatalf("sink saw %s twice", res.ID)
+		}
+		byID[res.ID] = res
+	}
+	for _, res := range results {
+		got, ok := byID[res.ID]
+		if !ok {
+			t.Fatalf("sink missed %s", res.ID)
+		}
+		if got.Status != res.Status || got.Seed != res.Seed {
+			t.Fatalf("sink result for %s differs: %+v vs %+v", res.ID, got, res)
+		}
+	}
 }
 
 func TestRunnerFailingClaim(t *testing.T) {
 	Register(Experiment{ID: "ZFAIL", Title: "drifts", Claim: "2+2=5",
-		Run: func(Suite) *Table {
+		Run: func(Suite, context.Context) *Table {
 			tab := &Table{ID: "ZFAIL", Columns: []string{"v"}}
 			tab.AddRow(4)
 			tab.CheckEq("arithmetic", 4, 5)
@@ -171,7 +281,7 @@ func TestRunnerFailingClaim(t *testing.T) {
 		}})
 	defer Unregister("ZFAIL")
 
-	results, err := Runner{}.Run([]string{"ZFAIL"})
+	results, err := Runner{}.Run(context.Background(), []string{"ZFAIL"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +294,7 @@ func TestRunnerFailingClaim(t *testing.T) {
 }
 
 func TestWriteJSONShape(t *testing.T) {
-	results, err := Runner{Suite: Suite{Quick: true, Seed: 7}}.Run(fastIDs)
+	results, err := Runner{Suite: Suite{Quick: true, Seed: 7}}.Run(context.Background(), fastIDs)
 	if err != nil {
 		t.Fatal(err)
 	}

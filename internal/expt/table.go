@@ -1,12 +1,3 @@
-// Package expt defines the reproduction experiment suite E1–E15 (see
-// EXPERIMENTS.md for the mapping to the paper's claims): one experiment
-// per quantitative claim, worked example or bound of the paper, each
-// emitting a table with typed claim checks. Experiments register
-// themselves in a registry (registry.go); Runner (runner.go) executes any
-// subset on a bounded worker pool with deterministic per-experiment seeds,
-// panic isolation and wall-time capture, producing machine-readable
-// Results (result.go). cmd/hbench drives the runner; bench_test.go wraps
-// each experiment in a testing.B benchmark.
 package expt
 
 import (

@@ -12,10 +12,15 @@
 // The implementation favors robustness over speed: rows are equilibrated at
 // build time, Dantzig pricing switches to Bland's rule after a run of
 // degenerate pivots (guaranteeing termination), and an iteration cap turns
-// pathological cases into errors instead of hangs.
+// pathological cases into errors instead of hangs. SolveCtx additionally
+// polls a context between pivots, so callers higher up the stack (the
+// Section V binary search, the Section VI iterative rounding) can abort a
+// solve cooperatively — the cancellation path -timeout in cmd/hbench
+// relies on.
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -152,7 +157,17 @@ const (
 // returned only for resource exhaustion (iteration cap), never for
 // infeasible or unbounded problems, which are reported in Status.
 func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve under a context: the pivot loop polls ctx and aborts
+// with an error wrapping ctx.Err() once the context is done, so a
+// canceled caller never waits for a long simplex run to finish. The
+// returned error satisfies errors.Is against context.Canceled or
+// context.DeadlineExceeded.
+func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	t := newTableau(p)
+	t.ctx = ctx
 	sol := &Solution{}
 
 	// Phase 1: minimize the sum of artificial variables.
@@ -200,7 +215,12 @@ func (p *Problem) Solve() (*Solution, error) {
 // Feasible reports whether the constraint system admits any x ≥ 0, together
 // with a witness vertex when it does.
 func (p *Problem) Feasible() (bool, []float64, error) {
-	sol, err := p.Solve()
+	return p.FeasibleCtx(context.Background())
+}
+
+// FeasibleCtx is Feasible under a context (see SolveCtx).
+func (p *Problem) FeasibleCtx(ctx context.Context) (bool, []float64, error) {
+	sol, err := p.SolveCtx(ctx)
 	if err != nil {
 		return false, nil, err
 	}
@@ -222,7 +242,8 @@ type tableau struct {
 	unbounded     bool
 	degenStreak   int
 	blandMode     bool
-	rowScale      []float64 // applied scaling per row (for diagnostics)
+	rowScale      []float64       // applied scaling per row (for diagnostics)
+	ctx           context.Context // polled between pivots; nil = never canceled
 }
 
 func newTableau(p *Problem) *tableau {
@@ -375,6 +396,13 @@ func (t *tableau) iterate(cost []float64, phase1 bool) (int, error) {
 	maxIter := 2000 + 200*(t.nrows+t.ncols)
 	iters := 0
 	for ; iters < maxIter; iters++ {
+		// Each pivot is O(rows·cols); a per-pivot context poll is noise
+		// next to that and keeps the cancellation latency to one pivot.
+		if t.ctx != nil {
+			if err := t.ctx.Err(); err != nil {
+				return iters, fmt.Errorf("canceled after %d pivots: %w", iters, err)
+			}
+		}
 		enter := t.chooseEntering(cost, phase1)
 		if enter < 0 {
 			return iters, nil // optimal for this phase

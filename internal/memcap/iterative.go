@@ -19,6 +19,7 @@
 package memcap
 
 import (
+	"context"
 	"fmt"
 
 	"hsp/internal/lp"
@@ -43,8 +44,9 @@ type roundResult struct {
 // iterativeRound selects one variable per job subject to the packings, in
 // the sense of Lemma VI.2: assignment constraints hold exactly, packing l
 // ends within (1+ρ_l)·B_l unless a fallback fired. varJob[v] is the job of
-// master variable v.
-func iterativeRound(varJob []int, nJobs int, packings []Packing) (*roundResult, error) {
+// master variable v. Each residual LP solve polls ctx between pivots, so
+// cancellation aborts the rounding mid-iteration.
+func iterativeRound(ctx context.Context, varJob []int, nJobs int, packings []Packing) (*roundResult, error) {
 	const tol = 1e-7
 	alive := make([]bool, len(varJob))
 	for v := range alive {
@@ -107,7 +109,7 @@ func iterativeRound(varJob []int, nJobs int, packings []Packing) (*roundResult, 
 				p.MustAddConstraint(idx, val, lp.LE, pk.B-fixedUse[l])
 			}
 		}
-		sol, err := p.Solve()
+		sol, err := p.SolveCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("memcap: %w", err)
 		}

@@ -1,6 +1,7 @@
 package memcap
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -130,7 +131,7 @@ func pairVars(in *model.Instance, T int64, fits func(set, job int) bool) (varJob
 
 // feasibleConstrainedLP reports whether the (IP-3)+memory relaxation is
 // feasible at T. The packing builder receives the variable list.
-func feasibleConstrainedLP(in *model.Instance, varJob []int, pairs [][2]int, packings []Packing) (bool, error) {
+func feasibleConstrainedLP(ctx context.Context, in *model.Instance, varJob []int, pairs [][2]int, packings []Packing) (bool, error) {
 	p := lp.NewProblem(len(pairs))
 	jobVars := make([][]int, in.N())
 	for v, j := range varJob {
@@ -157,7 +158,7 @@ func feasibleConstrainedLP(in *model.Instance, varJob []int, pairs [][2]int, pac
 			p.MustAddConstraint(idx, val, lp.LE, pk.B)
 		}
 	}
-	ok, _, err := p.Feasible()
+	ok, _, err := p.FeasibleCtx(ctx)
 	return ok, err
 }
 
@@ -193,6 +194,12 @@ func loadPackings(in *model.Instance, pairs [][2]int, T int64, rho float64) []Pa
 // and rounds it iteratively, targeting makespan ≤ 3T and memory ≤ 3B_i
 // (Theorem VI.1, ρ = 2).
 func SolveModel1(m1 *Model1) (*Result, error) {
+	return SolveModel1Ctx(context.Background(), m1)
+}
+
+// SolveModel1Ctx is SolveModel1 under a context: the binary search and
+// every iterative-rounding LP poll ctx between simplex pivots.
+func SolveModel1Ctx(ctx context.Context, m1 *Model1) (*Result, error) {
 	if err := m1.Validate(); err != nil {
 		return nil, err
 	}
@@ -232,12 +239,12 @@ func SolveModel1(m1 *Model1) (*Result, error) {
 		packs := append(loadPackings(in, pairs, T, rho), memPackings(pairs)...)
 		return varJob, pairs, packs
 	}
-	tlp, err := minFeasibleT(in, build)
+	tlp, err := minFeasibleT(ctx, in, build)
 	if err != nil {
 		return nil, err
 	}
 	varJob, pairs, packs := build(tlp)
-	rr, err := iterativeRound(varJob, in.N(), packs)
+	rr, err := iterativeRound(ctx, varJob, in.N(), packs)
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +272,11 @@ func SolveModel1(m1 *Model1) (*Result, error) {
 // rounds it with ρ = 1 + H_k, targeting σ = 2 + H_k on both criteria
 // (Theorem VI.3).
 func SolveModel2(m2 *Model2) (*Result, error) {
+	return SolveModel2Ctx(context.Background(), m2)
+}
+
+// SolveModel2Ctx is SolveModel2 under a context (see SolveModel1Ctx).
+func SolveModel2Ctx(ctx context.Context, m2 *Model2) (*Result, error) {
 	if err := m2.Validate(); err != nil {
 		return nil, err
 	}
@@ -304,12 +316,12 @@ func SolveModel2(m2 *Model2) (*Result, error) {
 		packs := append(loadPackings(in, pairs, T, rho), memPackings(pairs)...)
 		return varJob, pairs, packs
 	}
-	tlp, err := minFeasibleT(in, build)
+	tlp, err := minFeasibleT(ctx, in, build)
 	if err != nil {
 		return nil, err
 	}
 	varJob, pairs, packs := build(tlp)
-	rr, err := iterativeRound(varJob, in.N(), packs)
+	rr, err := iterativeRound(ctx, varJob, in.N(), packs)
 	if err != nil {
 		return nil, err
 	}
@@ -336,8 +348,8 @@ func SolveModel2(m2 *Model2) (*Result, error) {
 }
 
 // minFeasibleT binary-searches the minimal T whose constrained relaxation
-// is feasible.
-func minFeasibleT(in *model.Instance, build func(T int64) ([]int, [][2]int, []Packing)) (int64, error) {
+// is feasible. Each probe's LP polls ctx between pivots.
+func minFeasibleT(ctx context.Context, in *model.Instance, build func(T int64) ([]int, [][2]int, []Packing)) (int64, error) {
 	lo := in.LowerBoundSimple()
 	if lo < 1 {
 		lo = 1
@@ -351,7 +363,7 @@ func minFeasibleT(in *model.Instance, build func(T int64) ([]int, [][2]int, []Pa
 	}
 	check := func(T int64) (bool, error) {
 		varJob, pairs, packs := build(T)
-		return feasibleConstrainedLP(in, varJob, pairs, packs)
+		return feasibleConstrainedLP(ctx, in, varJob, pairs, packs)
 	}
 	if ok, err := check(hi); err != nil {
 		return 0, err

@@ -1,0 +1,25 @@
+package relax
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hsp/internal/model"
+)
+
+// TestMinFeasibleTCtxCanceled: cancellation surfaces from the binary
+// search as an error wrapping context.Canceled, and the plain entry
+// point still works.
+func TestMinFeasibleTCtxCanceled(t *testing.T) {
+	in := model.ExampleII1()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := MinFeasibleTCtx(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled search returned %v, want context.Canceled", err)
+	}
+	tStar, _, err := MinFeasibleT(in)
+	if err != nil || tStar != 2 {
+		t.Fatalf("background search failed: T*=%d err=%v", tStar, err)
+	}
+}

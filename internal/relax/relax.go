@@ -7,6 +7,7 @@
 package relax
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -135,6 +136,12 @@ func BuildFeasibility(in *model.Instance, T int64) (*lp.Problem, [][2]int) {
 // Feasible solves the LP relaxation of (IP-3) at T and returns the
 // fractional solution when feasible.
 func Feasible(in *model.Instance, T int64) (bool, *Fractional, error) {
+	return FeasibleCtx(context.Background(), in, T)
+}
+
+// FeasibleCtx is Feasible under a context: the underlying simplex solve
+// aborts between pivots once ctx is done (the error wraps ctx.Err()).
+func FeasibleCtx(ctx context.Context, in *model.Instance, T int64) (bool, *Fractional, error) {
 	// Fast negative: a job whose cheapest set exceeds T has no variable.
 	for j := 0; j < in.N(); j++ {
 		if v, _ := in.MinProc(j); v > T {
@@ -142,7 +149,7 @@ func Feasible(in *model.Instance, T int64) (bool, *Fractional, error) {
 		}
 	}
 	p, pairs := BuildFeasibility(in, T)
-	ok, x, err := p.Feasible()
+	ok, x, err := p.FeasibleCtx(ctx)
 	if err != nil {
 		return false, nil, fmt.Errorf("relax: LP at T=%d: %w", T, err)
 	}
@@ -160,6 +167,13 @@ func Feasible(in *model.Instance, T int64) (bool, *Fractional, error) {
 // relaxation of (IP-3) is feasible. T* is a lower bound on the optimal
 // integral makespan. The returned Fractional is a feasible solution at T*.
 func MinFeasibleT(in *model.Instance) (int64, *Fractional, error) {
+	return MinFeasibleTCtx(context.Background(), in)
+}
+
+// MinFeasibleTCtx is MinFeasibleT under a context: the binary search
+// checks ctx before every LP probe and each probe itself aborts between
+// simplex pivots, so cancellation latency is one pivot, not one search.
+func MinFeasibleTCtx(ctx context.Context, in *model.Instance) (int64, *Fractional, error) {
 	lo := in.LowerBoundSimple()
 	if lo < 1 {
 		lo = 1
@@ -174,7 +188,7 @@ func MinFeasibleT(in *model.Instance) (int64, *Fractional, error) {
 	var best *Fractional
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		ok, fr, err := Feasible(in, mid)
+		ok, fr, err := FeasibleCtx(ctx, in, mid)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -186,7 +200,7 @@ func MinFeasibleT(in *model.Instance) (int64, *Fractional, error) {
 		}
 	}
 	if best == nil {
-		ok, fr, err := Feasible(in, lo)
+		ok, fr, err := FeasibleCtx(ctx, in, lo)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -197,7 +211,7 @@ func MinFeasibleT(in *model.Instance) (int64, *Fractional, error) {
 	} else {
 		// best may correspond to a larger T than lo if the last probe
 		// failed; re-solve at the final T when necessary.
-		ok, fr, err := Feasible(in, lo)
+		ok, fr, err := FeasibleCtx(ctx, in, lo)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -19,6 +19,7 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 
 	"hsp/internal/approx"
@@ -74,6 +75,13 @@ type Result struct {
 // Test decides whether the task set (tasks = jobs of the instance, WCETs =
 // processing times) is schedulable with frame length F.
 func Test(in *model.Instance, frame int64, opts Options) (*Result, error) {
+	return TestCtx(context.Background(), in, frame, opts)
+}
+
+// TestCtx is Test under a context: the LP certificate, the constructive
+// attempts and the optional exact search all poll ctx and abort with an
+// error wrapping ctx.Err() once it is done.
+func TestCtx(ctx context.Context, in *model.Instance, frame int64, opts Options) (*Result, error) {
 	if frame <= 0 {
 		return nil, fmt.Errorf("rt: frame length must be positive, got %d", frame)
 	}
@@ -82,7 +90,7 @@ func Test(in *model.Instance, frame int64, opts Options) (*Result, error) {
 	}
 	res := &Result{Frame: frame, Instance: in}
 
-	tStar, _, err := relax.MinFeasibleT(in)
+	tStar, _, err := relax.MinFeasibleTCtx(ctx, in)
 	if err != nil {
 		return nil, fmt.Errorf("rt: %w", err)
 	}
@@ -94,7 +102,7 @@ func Test(in *model.Instance, frame int64, opts Options) (*Result, error) {
 
 	// Constructive attempts, cheapest first: the certified 2-approximation,
 	// then the greedy + local search, then (optionally) exact search.
-	if ar, err := approx.TwoApprox(in); err == nil && ar.Makespan <= frame {
+	if ar, err := approx.TwoApproxCtx(ctx, in); err == nil && ar.Makespan <= frame {
 		res.Verdict = Schedulable
 		res.Makespan = ar.Makespan
 		res.Assignment = ar.Assignment
@@ -112,7 +120,7 @@ func Test(in *model.Instance, frame int64, opts Options) (*Result, error) {
 		}
 	}
 	if opts.ExactNodes > 0 {
-		a, opt, err := exact.Solve(in, exact.Options{MaxNodes: opts.ExactNodes})
+		a, opt, err := exact.SolveCtx(ctx, in, exact.Options{MaxNodes: opts.ExactNodes})
 		if err == nil {
 			if opt <= frame {
 				s, err := hier.Schedule(in, a, opt)
@@ -137,14 +145,19 @@ func Test(in *model.Instance, frame int64, opts Options) (*Result, error) {
 // lower = the LP bound (no smaller frame can ever be schedulable),
 // upper = the best constructive makespan found (that frame provably works).
 func MinFrame(in *model.Instance) (lower, upper int64, err error) {
+	return MinFrameCtx(context.Background(), in)
+}
+
+// MinFrameCtx is MinFrame under a context (see TestCtx).
+func MinFrameCtx(ctx context.Context, in *model.Instance) (lower, upper int64, err error) {
 	if err := in.Validate(); err != nil {
 		return 0, 0, fmt.Errorf("rt: %w", err)
 	}
-	lower, _, err = relax.MinFeasibleT(in)
+	lower, _, err = relax.MinFeasibleTCtx(ctx, in)
 	if err != nil {
 		return 0, 0, err
 	}
-	ar, err := approx.TwoApprox(in)
+	ar, err := approx.TwoApproxCtx(ctx, in)
 	if err != nil {
 		return 0, 0, err
 	}

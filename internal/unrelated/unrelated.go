@@ -7,6 +7,7 @@
 package unrelated
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -61,6 +62,12 @@ func (in *Instance) minProc(j int) (int64, int) {
 // FeasibleLP solves the R||Cmax feasibility relaxation at makespan T and
 // returns a vertex solution x[j][i] when feasible.
 func FeasibleLP(in *Instance, T int64) (bool, [][]float64, error) {
+	return FeasibleLPCtx(context.Background(), in, T)
+}
+
+// FeasibleLPCtx is FeasibleLP under a context: the simplex solve aborts
+// between pivots once ctx is done (the error wraps ctx.Err()).
+func FeasibleLPCtx(ctx context.Context, in *Instance, T int64) (bool, [][]float64, error) {
 	n, m := in.N(), in.M()
 	type pair struct{ j, i int }
 	var pairs []pair
@@ -103,7 +110,7 @@ func FeasibleLP(in *Instance, T int64) (bool, [][]float64, error) {
 			p.MustAddConstraint(idx, val, lp.LE, float64(T))
 		}
 	}
-	ok, x, err := p.Feasible()
+	ok, x, err := p.FeasibleCtx(ctx)
 	if err != nil || !ok {
 		return false, nil, err
 	}
