@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -17,26 +18,35 @@ import (
 // machine-readable summary of one hbench run, appended per invocation so
 // successive records chart the reproduction and its performance over
 // time. Statuses and per-experiment wall times are kept so the next run
-// can diff against this one (drift detection) without re-running.
+// can diff against this one (drift detection) without re-running — and so
+// shard planning can balance shards by measured cost (see Plan in
+// internal/expt).
 type benchRecord struct {
 	Schema int    `json:"schema"`
-	Time   string `json:"time"` // RFC 3339, UTC
+	Time   string `json:"time"` // RFC 3339 with nanoseconds, UTC
 	// Key identifies comparable runs: pack, quick setting, seed and the
 	// exact experiment set. Drift is only computed against the previous
 	// record with the same key, so changing the seed or the -run subset
 	// starts a fresh trajectory instead of reporting spurious drift.
-	Key         string             `json:"key"`
-	Pack        string             `json:"pack"`
-	Quick       bool               `json:"quick"`
-	Seed        int64              `json:"seed"`
-	Workers     int                `json:"workers"`
-	GoVersion   string             `json:"go"`
-	Experiments int                `json:"experiments"`
-	Pass        int                `json:"pass"`
-	Fail        int                `json:"fail"`
-	Errors      int                `json:"errors"`
-	Timeouts    int                `json:"timeouts"`
-	Canceled    int                `json:"canceled"`
+	Key         string `json:"key"`
+	Pack        string `json:"pack"`
+	Quick       bool   `json:"quick"`
+	Seed        int64  `json:"seed"`
+	Workers     int    `json:"workers"`
+	GoVersion   string `json:"go"`
+	Experiments int    `json:"experiments"`
+	Pass        int    `json:"pass"`
+	Fail        int    `json:"fail"`
+	Errors      int    `json:"errors"`
+	Timeouts    int    `json:"timeouts"`
+	Canceled    int    `json:"canceled"`
+	// Other counts results whose status is none of the known five, so
+	// Pass+Fail+Errors+Timeouts+Canceled+Other == Experiments always
+	// holds; a future status can never silently vanish from the counters.
+	Other int `json:"other,omitempty"`
+	// Shards is the shard count of a merged multi-process run (hbench
+	// -merge); zero for a single-process run.
+	Shards      int                `json:"shards,omitempty"`
 	WallMS      float64            `json:"wall_ms"`
 	Statuses    map[string]string  `json:"statuses"`
 	DurationsMS map[string]float64 `json:"durations_ms"`
@@ -52,13 +62,24 @@ type driftReport struct {
 	Against       string   `json:"against"` // Time of the compared record
 	StatusChanges []string `json:"status_changes,omitempty"`
 	Regressed     bool     `json:"regressed"` // any pass -> non-pass change
-	WallRatio     float64  `json:"wall_ratio,omitempty"`
+	WallRatio     float64  `json:"wall_ratio"`
+}
+
+// benchKey builds the trajectory key identifying comparable runs. The ids
+// are order-normalized (lexicographically, matching the historical record
+// format), so a merged shard run and a sequential run of the same suite
+// share one trajectory.
+func benchKey(pack string, quick bool, seed int64, ids []string) string {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	return fmt.Sprintf("%s|quick=%t|seed=%d|%s", pack, quick, seed, strings.Join(sorted, ","))
 }
 
 // appendBenchRecord appends one record to path (JSONL) and returns
 // human-readable drift lines versus the previous record for the same
-// key, if one exists.
-func appendBenchRecord(path, pack string, quick bool, seed int64, workers int, results []expt.Result, wall time.Duration) ([]string, error) {
+// key, if one exists. shards is nonzero only for merged multi-process
+// runs.
+func appendBenchRecord(path, pack string, quick bool, seed int64, workers, shards int, results []expt.Result, wall time.Duration) ([]string, error) {
 	ids := make([]string, len(results))
 	for i, r := range results {
 		ids[i] = r.ID
@@ -66,12 +87,13 @@ func appendBenchRecord(path, pack string, quick bool, seed int64, workers int, r
 	sort.Strings(ids)
 	rec := benchRecord{
 		Schema:      1,
-		Time:        time.Now().UTC().Format(time.RFC3339),
-		Key:         fmt.Sprintf("%s|quick=%t|seed=%d|%s", pack, quick, seed, strings.Join(ids, ",")),
+		Time:        time.Now().UTC().Format(time.RFC3339Nano),
+		Key:         benchKey(pack, quick, seed, ids),
 		Pack:        pack,
 		Quick:       quick,
 		Seed:        seed,
 		Workers:     workers,
+		Shards:      shards,
 		GoVersion:   runtime.Version(),
 		Experiments: len(results),
 		WallMS:      float64(wall.Nanoseconds()) / 1e6,
@@ -90,6 +112,8 @@ func appendBenchRecord(path, pack string, quick bool, seed int64, workers int, r
 			rec.Timeouts++
 		case expt.StatusCanceled:
 			rec.Canceled++
+		default:
+			rec.Other++
 		}
 		rec.Statuses[r.ID] = string(r.Status)
 		rec.DurationsMS[r.ID] = float64(r.Duration().Nanoseconds()) / 1e6
@@ -144,7 +168,10 @@ func appendBenchRecord(path, pack string, quick bool, seed int64, workers int, r
 // lastBenchRecord scans path for the most recent record with the same
 // key. A missing file means no history (nil, nil); unparsable lines are
 // skipped rather than fatal, so a corrupted line cannot brick the
-// trajectory.
+// trajectory. Lines are read unbounded (no bufio.Scanner token cap): a
+// record carrying per-experiment durations for a large pack can exceed
+// any fixed limit, and losing the whole trajectory to one long line
+// would silently disable drift checking and cost-aware shard planning.
 func lastBenchRecord(path, key string) (*benchRecord, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -155,17 +182,20 @@ func lastBenchRecord(path, key string) (*benchRecord, error) {
 	}
 	defer f.Close()
 	var last *benchRecord
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		var rec benchRecord
-		if json.Unmarshal(sc.Bytes(), &rec) != nil {
-			continue
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			var rec benchRecord
+			if json.Unmarshal(line, &rec) == nil && rec.Key == key {
+				last = &rec
+			}
 		}
-		if rec.Key == key {
-			r := rec
-			last = &r
+		if err == io.EOF {
+			return last, nil
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
-	return last, sc.Err()
 }

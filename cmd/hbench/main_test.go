@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"hsp/internal/expt"
 )
@@ -259,6 +260,104 @@ func TestBenchOutFlagsRegression(t *testing.T) {
 	}
 	if len(second.Drift.StatusChanges) != 1 || !strings.Contains(second.Drift.StatusChanges[0], "pass -> fail") {
 		t.Fatalf("status change not recorded: %+v", second.Drift.StatusChanges)
+	}
+}
+
+// A trajectory record carrying per-experiment durations for a large pack
+// can exceed bufio.Scanner's default 1 MiB token cap; lastBenchRecord
+// must read arbitrarily long lines rather than failing the whole
+// trajectory (which would silently disable drift checks and cost-aware
+// shard planning).
+func TestLastBenchRecordOversizedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_hbench.json")
+	big, err := json.Marshal(benchRecord{Key: "big", Pass: 1,
+		Statuses: map[string]string{"E1": strings.Repeat("x", 2<<20)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := json.Marshal(benchRecord{Key: "small", Pass: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := append(append(big, '\n'), append(small, '\n')...)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lastBenchRecord(path, "big")
+	if err != nil || got == nil || got.Pass != 1 {
+		t.Fatalf("oversized record not read: %v, %v", got, err)
+	}
+	// The record after the oversized line must still be reachable.
+	got, err = lastBenchRecord(path, "small")
+	if err != nil || got == nil || got.Pass != 2 {
+		t.Fatalf("record after oversized line lost: %v, %v", got, err)
+	}
+}
+
+// Every result must land in exactly one status counter: an unrecognized
+// status counts as Other, so the counters always sum to Experiments.
+func TestBenchRecordStatusCounterInvariant(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_hbench.json")
+	results := []expt.Result{
+		{ID: "A", Status: expt.StatusPass},
+		{ID: "B", Status: expt.StatusFail},
+		{ID: "C", Status: expt.Status("someday-a-new-status")},
+	}
+	if _, err := appendBenchRecord(path, "subset", true, 7, 1, 0, results, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal([]byte(strings.TrimSpace(string(data))), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Other != 1 {
+		t.Fatalf("unknown status not counted: %+v", rec)
+	}
+	if sum := rec.Pass + rec.Fail + rec.Errors + rec.Timeouts + rec.Canceled + rec.Other; sum != rec.Experiments {
+		t.Fatalf("counters sum to %d, want Experiments=%d: %+v", sum, rec.Experiments, rec)
+	}
+}
+
+// Record times are RFC3339Nano so two quick runs can't collide (which
+// would make driftReport.Against ambiguous), and wall_ratio is always
+// serialized once a previous record exists.
+func TestBenchRecordTimeResolutionAndWallRatio(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_hbench.json")
+	results := []expt.Result{{ID: "A", Status: expt.StatusPass}}
+	for i := 0; i < 2; i++ {
+		if _, err := appendBenchRecord(path, "subset", true, 7, 1, 0, results, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var first, second benchRecord
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []string{first.Time, second.Time} {
+		if _, err := time.Parse(time.RFC3339Nano, ts); err != nil {
+			t.Fatalf("time %q not RFC3339Nano: %v", ts, err)
+		}
+	}
+	if first.Time == second.Time {
+		t.Fatalf("back-to-back records collide on time %q", first.Time)
+	}
+	if second.Drift == nil || second.Drift.Against != first.Time {
+		t.Fatalf("drift not anchored to previous time: %+v", second.Drift)
+	}
+	if !strings.Contains(lines[1], `"wall_ratio":`) {
+		t.Fatalf("wall_ratio omitted from drift report:\n%s", lines[1])
 	}
 }
 

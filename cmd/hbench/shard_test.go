@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"hsp/internal/expt"
+)
+
+func TestParseShardSpec(t *testing.T) {
+	for spec, want := range map[string][2]int{"1/1": {1, 1}, "2/3": {2, 3}, "3/3": {3, 3}} {
+		i, n, err := parseShardSpec(spec)
+		if err != nil || i != want[0] || n != want[1] {
+			t.Fatalf("parseShardSpec(%q) = %d, %d, %v; want %v", spec, i, n, err, want)
+		}
+	}
+	for _, spec := range []string{"", "3", "0/3", "4/3", "-1/2", "a/b", "1/0", "1/2/3"} {
+		if _, _, err := parseShardSpec(spec); err == nil {
+			t.Fatalf("parseShardSpec(%q) accepted", spec)
+		}
+	}
+}
+
+// runShards runs each of n shard processes of the given suite selection
+// in-process, writes their JSONL to files, and returns the file paths.
+func runShards(t *testing.T, n int, extra ...string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	paths := make([]string, n)
+	for i := 1; i <= n; i++ {
+		var out bytes.Buffer
+		args := append(append([]string{"-quick"}, extra...), "-shard", fmt.Sprintf("%d/%d", i, n))
+		if err := run(context.Background(), args, &out); err != nil {
+			t.Fatalf("shard %d/%d: %v", i, n, err)
+		}
+		paths[i-1] = filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i))
+		if err := os.WriteFile(paths[i-1], out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+func mergeShards(t *testing.T, shardFiles []string, extra ...string) ([]byte, string) {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "merged.jsonl")
+	var stdout bytes.Buffer
+	args := append(append([]string{"-merge", out}, extra...), shardFiles...)
+	if err := run(context.Background(), args, &stdout); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, stdout.String()
+}
+
+// The acceptance criterion: sharded runs of each pack, merged, are
+// byte-identical to the single-process sequential -json run.
+func TestShardMergeByteIdenticalPerPack(t *testing.T) {
+	packs := []string{"rt", "memcap"}
+	if !testing.Short() {
+		packs = append(packs, "paper")
+	}
+	for _, pack := range packs {
+		t.Run(pack, func(t *testing.T) {
+			var seq bytes.Buffer
+			if err := run(context.Background(), []string{"-quick", "-parallel", "-pack", pack, "-json"}, &seq); err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			shards := runShards(t, 3, "-parallel", "-pack", pack)
+			merged, summary := mergeShards(t, shards)
+			if !bytes.Equal(seq.Bytes(), merged) {
+				t.Fatalf("merged output differs from sequential:\n%s\n---\n%s", seq.String(), merged)
+			}
+			if !strings.Contains(summary, "merged 3 shards") {
+				t.Fatalf("merge summary missing: %q", summary)
+			}
+		})
+	}
+}
+
+// -pack all shards plan over every registered experiment (the suite the
+// runner's nil-ids default would select). One narrow shard keeps this
+// cheap: its metadata must carry the full registry as the plan.
+func TestShardPackAllPlansFullRegistry(t *testing.T) {
+	var out bytes.Buffer
+	n := len(expt.IDs())
+	if err := run(context.Background(), []string{"-quick", "-pack", "all", "-shard", fmt.Sprintf("%d/%d", n, n)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var meta shardLine
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &meta); err != nil || meta.Shard == nil {
+		t.Fatalf("no shard metadata: %v\n%s", err, out.String())
+	}
+	all := append([]string(nil), expt.IDs()...)
+	expt.SortIDs(all)
+	if !slices.Equal(meta.Shard.All, all) {
+		t.Fatalf("-pack all planned %v, want the full registry %v", meta.Shard.All, all)
+	}
+	if len(meta.Shard.IDs) != 1 {
+		t.Fatalf("shard %d/%d of the registry should run 1 experiment, ran %v", n, n, meta.Shard.IDs)
+	}
+}
+
+// Sharding an explicit -run subset merges back to the subset's canonical
+// suite order, and more shards than experiments (an empty shard) is fine.
+func TestShardMergeRunSubsetWithEmptyShard(t *testing.T) {
+	var seq bytes.Buffer
+	if err := run(context.Background(), []string{"-quick", "-run", "E1,E2,E7", "-json"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	shards := runShards(t, 5, "-run", "E1,E2,E7")
+	merged, _ := mergeShards(t, shards)
+	if !bytes.Equal(seq.Bytes(), merged) {
+		t.Fatalf("merged subset differs from sequential:\n%s\n---\n%s", seq.String(), merged)
+	}
+}
+
+// Cost-aware planning: with a trajectory record for the same key, the
+// shards are LPT-balanced from its durations — and the merged bytes stay
+// identical to the sequential run, which is the invariant that matters.
+func TestShardMergeCostAware(t *testing.T) {
+	bench := filepath.Join(t.TempDir(), "BENCH_hbench.json")
+	var seq bytes.Buffer
+	if err := run(context.Background(), []string{"-quick", "-pack", "rt", "-json", "-bench-out", bench}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	key := benchKey("rt", true, 7, []string{"RT1", "RT2"})
+	costs, err := loadCosts(bench, key)
+	if err != nil || len(costs) != 2 || costs["RT1"] <= 0 {
+		t.Fatalf("loadCosts = %v, %v; want both rt durations", costs, err)
+	}
+	shards := runShards(t, 2, "-pack", "rt", "-bench-out", bench)
+	merged, _ := mergeShards(t, shards)
+	if !bytes.Equal(seq.Bytes(), merged) {
+		t.Fatalf("cost-aware merged output differs from sequential")
+	}
+	// The shard run must not have appended to the trajectory it read.
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(string(data)), "\n")); n != 1 {
+		t.Fatalf("shard runs appended to the cost trajectory: %d records", n)
+	}
+}
+
+func TestMergeAppendsOneBenchRecord(t *testing.T) {
+	bench := filepath.Join(t.TempDir(), "BENCH_hbench.json")
+	shards := runShards(t, 3, "-pack", "rt")
+	_, _ = mergeShards(t, shards, "-bench-out", bench)
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 merged bench record, got %d", len(lines))
+	}
+	var rec benchRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Shards != 3 || rec.Pack != "rt" || rec.Experiments != 2 {
+		t.Fatalf("merged record wrong: %+v", rec)
+	}
+	if sum := rec.Pass + rec.Fail + rec.Errors + rec.Timeouts + rec.Canceled + rec.Other; sum != rec.Experiments {
+		t.Fatalf("status counters sum to %d, want %d", sum, rec.Experiments)
+	}
+	if rec.WallMS <= 0 || rec.DurationsMS["RT1"] <= 0 || rec.DurationsMS["RT2"] <= 0 {
+		t.Fatalf("merged record lost measured durations: %+v", rec)
+	}
+	if rec.Key != benchKey("rt", true, 7, []string{"RT1", "RT2"}) {
+		t.Fatalf("merged record key %q does not match the sequential trajectory", rec.Key)
+	}
+}
+
+func TestMergeRejectsMissingShard(t *testing.T) {
+	shards := runShards(t, 3, "-pack", "rt")
+	out := filepath.Join(t.TempDir(), "merged.jsonl")
+	var stdout bytes.Buffer
+	err := run(context.Background(), []string{"-merge", out, shards[0], shards[2]}, &stdout)
+	if err == nil || !strings.Contains(err.Error(), "missing shard 2/3") {
+		t.Fatalf("incomplete merge accepted: %v", err)
+	}
+}
+
+func TestMergeRejectsDuplicateShard(t *testing.T) {
+	shards := runShards(t, 2, "-pack", "rt")
+	out := filepath.Join(t.TempDir(), "merged.jsonl")
+	var stdout bytes.Buffer
+	err := run(context.Background(), []string{"-merge", out, shards[0], shards[0], shards[1]}, &stdout)
+	if err == nil || !strings.Contains(err.Error(), "appears in both") {
+		t.Fatalf("duplicate shard accepted: %v", err)
+	}
+}
+
+func TestMergeRejectsMixedPlans(t *testing.T) {
+	rt := runShards(t, 2, "-pack", "rt")
+	mc := runShards(t, 2, "-pack", "memcap")
+	out := filepath.Join(t.TempDir(), "merged.jsonl")
+	var stdout bytes.Buffer
+	err := run(context.Background(), []string{"-merge", out, rt[0], mc[1]}, &stdout)
+	if err == nil {
+		t.Fatal("shards from different suites merged")
+	}
+}
+
+func TestMergeRejectsPlainJSONFile(t *testing.T) {
+	// A sequential -json file has no shard metadata and must be refused.
+	var seq bytes.Buffer
+	if err := run(context.Background(), []string{"-quick", "-run", "E1", "-json"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(t.TempDir(), "plain.jsonl")
+	if err := os.WriteFile(plain, seq.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "merged.jsonl")
+	var stdout bytes.Buffer
+	err := run(context.Background(), []string{"-merge", out, plain}, &stdout)
+	if err == nil || !strings.Contains(err.Error(), "no shard metadata") {
+		t.Fatalf("plain JSONL accepted by -merge: %v", err)
+	}
+}
+
+func TestMergeRequiresShardFiles(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run(context.Background(), []string{"-merge", "out.jsonl"}, &stdout); err == nil {
+		t.Fatal("-merge with no shard files accepted")
+	}
+}
+
+func TestShardRejectsJSONFull(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-quick", "-run", "E1", "-shard", "1/2", "-json-full"}, &out); err == nil {
+		t.Fatal("-shard with -json-full accepted")
+	}
+}

@@ -81,17 +81,31 @@ func Experiments() []Experiment {
 	}
 	regMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
-		ni, iok := experimentNum(out[i].ID)
-		nj, jok := experimentNum(out[j].ID)
-		switch {
-		case iok && jok:
-			return ni < nj
-		case iok != jok:
-			return iok
-		}
-		return out[i].ID < out[j].ID
+		return lessID(out[i].ID, out[j].ID)
 	})
 	return out
+}
+
+// lessID reports whether experiment id a precedes b in suite order:
+// "E<n>" ids numerically first, then any other ids lexicographically.
+func lessID(a, b string) bool {
+	na, aok := experimentNum(a)
+	nb, bok := experimentNum(b)
+	switch {
+	case aok && bok:
+		return na < nb
+	case aok != bok:
+		return aok
+	}
+	return a < b
+}
+
+// SortIDs sorts experiment ids in place into suite order — the order
+// Experiments returns them and a sequential pack run emits them. Shard
+// planning and shard merging both canonicalize through it, which is what
+// makes merged multi-process output byte-identical to a single run.
+func SortIDs(ids []string) {
+	sort.Slice(ids, func(i, j int) bool { return lessID(ids[i], ids[j]) })
 }
 
 // IDs returns the registered experiment ids in suite order.

@@ -1,0 +1,72 @@
+package expt
+
+import "sort"
+
+// Plan deterministically partitions experiment ids into n shards for
+// multi-process suite runs. Because every experiment's seed derives from
+// the base seed and its ID alone (DeriveSeed), any partition of the suite
+// across processes reproduces the single-process results exactly; Plan
+// only decides who runs what, and does so identically in every process
+// that plans the same (ids, n, costs) inputs — there is no coordination
+// channel between shard processes, the shared plan IS the coordination.
+//
+// When costs carries a positive cost for every id (per-experiment
+// durations_ms from a previous bench record, say), shards are balanced by
+// longest-processing-time-first: ids are taken heaviest first and each is
+// placed on the currently least-loaded shard, ties broken toward the
+// lowest shard index. Otherwise placement falls back to round-robin over
+// the ids in suite order. Either way each shard's ids come back in suite
+// order, the union of the shards is exactly the input set, and no id
+// appears twice.
+//
+// n < 1 is treated as 1; n larger than len(ids) yields empty shards.
+func Plan(ids []string, n int, costs map[string]float64) [][]string {
+	if n < 1 {
+		n = 1
+	}
+	sorted := append([]string(nil), ids...)
+	SortIDs(sorted)
+	shards := make([][]string, n)
+	if n == 1 {
+		shards[0] = sorted
+		return shards
+	}
+
+	usable := len(sorted) > 0
+	for _, id := range sorted {
+		if c, ok := costs[id]; !ok || c <= 0 {
+			usable = false
+			break
+		}
+	}
+	if !usable {
+		for i, id := range sorted {
+			k := i % n
+			shards[k] = append(shards[k], id)
+		}
+		return shards
+	}
+
+	// LPT: heaviest first onto the least-loaded shard. The stable sort
+	// keeps equal-cost ids in suite order, so the plan is a pure function
+	// of its inputs.
+	order := append([]string(nil), sorted...)
+	sort.SliceStable(order, func(i, j int) bool {
+		return costs[order[i]] > costs[order[j]]
+	})
+	loads := make([]float64, n)
+	for _, id := range order {
+		k := 0
+		for j := 1; j < n; j++ {
+			if loads[j] < loads[k] {
+				k = j
+			}
+		}
+		shards[k] = append(shards[k], id)
+		loads[k] += costs[id]
+	}
+	for _, s := range shards {
+		SortIDs(s)
+	}
+	return shards
+}
