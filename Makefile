@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build vet fmt-check lint-docs test race bench-quick bench-packs \
-	bench-shard bench-merge bench-sharded ci
+	bench-shard bench-merge bench-sharded bench-alloc bench-hot profile ci
 
 all: build vet test
 
@@ -75,4 +75,35 @@ bench-sharded:
 		$(MAKE) bench-shard SHARD=$$i SHARDS=$(SHARDS) || exit 1; done
 	$(MAKE) bench-merge SHARDS=$(SHARDS)
 
-ci: build vet fmt-check lint-docs race bench-quick bench-packs
+# Allocation budgets (see PERFORMANCE.md): the alloc-budget tests pin the
+# LP pivot loop, the exact branch-and-bound DFS and the Problem
+# rebuild path at zero steady-state allocations, and a warmed SolveWS at
+# its contract minimum. Run WITHOUT -race: race instrumentation
+# allocates, so these tests skip themselves under it — this target is the
+# gate CI relies on.
+bench-alloc:
+	$(GO) test -count=1 -run 'AllocFree|SteadyStateAllocs' ./internal/lp ./internal/exact
+
+# The hot-path benchmarks with allocation counts: the LP oracle per
+# solve, the Section V binary search, and one exact branch-and-bound
+# probe. Compare against the table in PERFORMANCE.md.
+bench-hot:
+	$(GO) test -run '^$$' -bench 'BenchmarkSolve$$|BenchmarkSolveWS$$' -benchmem ./internal/lp
+	$(GO) test -run '^$$' -bench 'BenchmarkMinFeasibleT$$' -benchmem ./internal/relax
+	$(GO) test -run '^$$' -bench 'BenchmarkFeasibleAssignment$$' -benchmem ./internal/exact
+
+# Profiling harness (playbook: PERFORMANCE.md): a representative suite
+# run — the quick paper pack on the parallel runner — with pprof CPU and
+# heap profiles. Inspect with e.g.
+#   go tool pprof -top   $(PROFILE_OUT)/cpu.pprof
+#   go tool pprof -top -sample_index=alloc_objects $(PROFILE_OUT)/heap.pprof
+PROFILE_OUT ?= out/profile
+
+profile:
+	@mkdir -p $(PROFILE_OUT)
+	$(GO) run ./cmd/hbench -quick -parallel -json \
+		-cpuprofile $(PROFILE_OUT)/cpu.pprof -memprofile $(PROFILE_OUT)/heap.pprof \
+		> $(PROFILE_OUT)/run.jsonl
+	@echo "profiles written: $(PROFILE_OUT)/cpu.pprof $(PROFILE_OUT)/heap.pprof"
+
+ci: build vet fmt-check lint-docs race bench-alloc bench-quick bench-packs

@@ -23,6 +23,7 @@
 //	hbench -bench-out BENCH_hbench.json   # append a drift-checked per-run record
 //	hbench -shard 2/3 > s2.jsonl    # run the 2nd of 3 deterministically planned shards
 //	hbench -merge out.jsonl s1.jsonl s2.jsonl s3.jsonl   # merge shard runs
+//	hbench -cpuprofile cpu.pprof -memprofile heap.pprof  # profile the run (PERFORMANCE.md)
 //
 // Sharding splits a suite across processes (or machines): every shard
 // process derives the same deterministic plan, runs only its subset, and
@@ -40,6 +41,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -72,9 +75,43 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		benchOut  = fs.String("bench-out", "", "append a per-run record (status counts, wall times) to this JSONL file, drift-checked against the previous record with the same pack/quick/seed/experiment-set key; with -shard the file is only read, as the cost source for shard balancing, and with -merge the merged run appends exactly one record")
 		shard     = fs.String("shard", "", "i/N: run only the i-th of N deterministically planned shards of the selected suite (implies -json; output is tagged with shard metadata for -merge)")
 		merge     = fs.String("merge", "", "merge mode: validate the shard JSONL files given as positional arguments and write their records, in canonical order, to this path (byte-identical to a sequential -json run)")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file (see PERFORMANCE.md)")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile, taken after the run, to this file (see PERFORMANCE.md)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		// Deferred so the profile reflects the run even when it exits on a
+		// failed claim check; runtime.GC() first so the heap profile shows
+		// live retention, not garbage awaiting collection.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	if *listPacks {

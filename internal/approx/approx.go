@@ -54,7 +54,11 @@ func TwoApproxCtx(ctx context.Context, in *model.Instance) (*Result, error) {
 		return nil, fmt.Errorf("approx: %w", err)
 	}
 	ins := in.WithSingletons()
-	tStar, frac, err := relax.MinFeasibleTCtx(ctx, ins)
+	// One relaxation workspace for the whole pipeline: the binary search
+	// reuses it probe to probe, and the unrelated vertex LP below reuses
+	// its simplex tableau.
+	ws := relax.NewWorkspace()
+	tStar, frac, err := relax.MinFeasibleTWS(ctx, ins, ws)
 	if err != nil {
 		return nil, fmt.Errorf("approx: %w", err)
 	}
@@ -72,7 +76,7 @@ func TwoApproxCtx(ctx context.Context, in *model.Instance) (*Result, error) {
 	}
 
 	u := singletonProjection(ins)
-	ok, x, err := unrelated.FeasibleLPCtx(ctx, u, tStar)
+	ok, x, err := unrelated.FeasibleLPWS(ctx, u, tStar, ws.LP)
 	if err != nil {
 		return nil, fmt.Errorf("approx: unrelated relaxation: %w", err)
 	}

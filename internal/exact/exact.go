@@ -1,11 +1,3 @@
-// Package exact computes optimal solutions of the hierarchical scheduling
-// problem on small instances by branch and bound: an outer binary search on
-// the makespan T (the LP relaxation bound of Section V seeds the lower
-// end), and an inner depth-first search over job → affinity-mask
-// assignments pruned by the subtree volume constraints (2b) and by
-// lower bounds on the volume still forced into each subtree. Used by the
-// experiments to measure the 2-approximation's true ratio; exponential in
-// the worst case by design (Proposition II.1: the problem is NP-hard).
 package exact
 
 import (
@@ -16,6 +8,7 @@ import (
 	"hsp/internal/laminar"
 	"hsp/internal/model"
 	"hsp/internal/relax"
+	"hsp/internal/scratch"
 )
 
 // Options bounds the search.
@@ -32,6 +25,41 @@ func (o Options) maxNodes() int {
 	return o.MaxNodes
 }
 
+// Workspace holds the branch-and-bound working state: candidate lists,
+// the in-place assignment vector, per-subtree volume accumulators and the
+// precomputed ancestor-membership table. A Workspace is reused across the
+// feasibility probes of one binary search (and across searches), so a
+// steady-state probe allocates nothing in the DFS itself — every node
+// commits and undoes in place. See the package doc for the ownership
+// contract.
+type Workspace struct {
+	// Family-derived: rebuilt only when the family changes.
+	family *laminar.Family
+	nsets  int
+	inSub  []bool // inSub[c*nsets+anc] reports anc ∈ Chain(c), i.e. anc ⊇ c
+
+	// Probe state, sized to the instance and reused across probes.
+	in        *model.Instance
+	T         int64
+	ctx       context.Context
+	n         int
+	nodes     int
+	limit     int
+	cands     [][]int // per job: candidate sets under (2c), cheapest first
+	candArena []int   // flat backing for cands rows
+	ceiling   []int   // minimal subtree the job is forced into (-1: none)
+	minP      []int64 // cheapest admissible processing time per job
+	forcedMin []int64 // lower bound on future volume per subtree
+	capOf     []int64 // |s|·T per subtree
+	used      []int64 // committed volume per subtree
+	order     []int   // most-constrained-first job order
+	assign    model.Assignment
+	ancCount  []int32 // scratch for commonAncestor
+}
+
+// NewWorkspace returns an empty Workspace. The zero value is also valid.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
 // Solve returns an optimal assignment and the optimal makespan.
 func Solve(in *model.Instance, opts Options) (model.Assignment, int64, error) {
 	return SolveCtx(context.Background(), in, opts)
@@ -41,6 +69,15 @@ func Solve(in *model.Instance, opts Options) (model.Assignment, int64, error) {
 // and the branch-and-bound all poll ctx, so a canceled caller abandons
 // the search within a few thousand DFS nodes (the error wraps ctx.Err()).
 func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (model.Assignment, int64, error) {
+	return SolveWS(ctx, in, opts, nil)
+}
+
+// SolveWS is SolveCtx on a caller-held Workspace, reused across the
+// binary search's feasibility probes (nil allocates one internally).
+func SolveWS(ctx context.Context, in *model.Instance, opts Options, ws *Workspace) (model.Assignment, int64, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	lo, _, err := relax.MinFeasibleTCtx(ctx, in)
 	if err != nil {
 		return nil, 0, fmt.Errorf("exact: %w", err)
@@ -52,7 +89,7 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (model.Assi
 	var best model.Assignment
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		a, ok, err := FeasibleAssignmentCtx(ctx, in, mid, opts)
+		a, ok, err := FeasibleAssignmentWS(ctx, in, mid, opts, ws)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -63,7 +100,7 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (model.Assi
 		}
 	}
 	if best == nil {
-		a, ok, err := FeasibleAssignmentCtx(ctx, in, lo, opts)
+		a, ok, err := FeasibleAssignmentWS(ctx, in, lo, opts, ws)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -86,181 +123,240 @@ func FeasibleAssignment(in *model.Instance, T int64, opts Options) (model.Assign
 // polls ctx every few thousand nodes and unwinds with an error wrapping
 // ctx.Err() once it is done.
 func FeasibleAssignmentCtx(ctx context.Context, in *model.Instance, T int64, opts Options) (model.Assignment, bool, error) {
-	f := in.Family
-	n := in.N()
-	nsets := f.Len()
+	return FeasibleAssignmentWS(ctx, in, T, opts, nil)
+}
 
-	// Candidate sets per job under the (2c) pruning, cheapest first.
-	cands := make([][]int, n)
-	for j := 0; j < n; j++ {
-		for s := 0; s < nsets; s++ {
-			if in.Proc[j][s] <= T {
-				cands[j] = append(cands[j], s)
-			}
-		}
-		if len(cands[j]) == 0 {
-			return nil, false, nil
-		}
-		j := j
-		sort.Slice(cands[j], func(a, b int) bool {
-			return in.Proc[j][cands[j][a]] < in.Proc[j][cands[j][b]]
-		})
+// FeasibleAssignmentWS is FeasibleAssignmentCtx on a caller-held
+// Workspace (nil allocates one internally). On success the returned
+// assignment is a fresh copy — it survives workspace reuse.
+func FeasibleAssignmentWS(ctx context.Context, in *model.Instance, T int64, opts Options, ws *Workspace) (model.Assignment, bool, error) {
+	if ws == nil {
+		ws = NewWorkspace()
 	}
-
-	// ceiling[j]: the minimal set whose subtree contains every candidate of
-	// j, i.e. the subtree j is forced into (-1 if candidates span roots).
-	ceiling := make([]int, n)
-	for j := 0; j < n; j++ {
-		ceiling[j] = commonAncestor(f, cands[j])
+	// Don't retain the run's context (deadline timers, cancel chains) or
+	// instance in a caller-held workspace past the probe.
+	defer func() { ws.ctx, ws.in = nil, nil }()
+	if !ws.prepare(ctx, in, T, opts) {
+		return nil, false, nil
 	}
-
-	// forcedMin[s]: total of min processing times of unassigned jobs whose
-	// ceiling lies in subtree(s) — a lower bound on future volume in s.
-	forcedMin := make([]int64, nsets)
-	minP := make([]int64, n)
-	for j := 0; j < n; j++ {
-		minP[j] = in.Proc[j][cands[j][0]]
-		if c := ceiling[j]; c >= 0 {
-			for _, anc := range f.Chain(c) {
-				forcedMin[anc] += minP[j]
-			}
-		}
-	}
-
-	capOf := make([]int64, nsets)
-	for s := 0; s < nsets; s++ {
-		capOf[s] = int64(f.Size(s)) * T
-	}
-	used := make([]int64, nsets) // committed volume per subtree
-
-	// Most-constrained-first ordering: fewest candidates, then largest
-	// minimum processing time.
-	order := make([]int, n)
-	for j := range order {
-		order[j] = j
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ja, jb := order[a], order[b]
-		if len(cands[ja]) != len(cands[jb]) {
-			return len(cands[ja]) < len(cands[jb])
-		}
-		return minP[ja] > minP[jb]
-	})
-
-	assign := make(model.Assignment, n)
-	for j := range assign {
-		assign[j] = -1
-	}
-	nodes := 0
-	limit := opts.maxNodes()
-
-	var dfs func(k int) (bool, error)
-	dfs = func(k int) (bool, error) {
-		nodes++
-		if nodes > limit {
-			return false, fmt.Errorf("exact: node cap %d exceeded at T=%d", limit, T)
-		}
-		// Poll the context on a stride: a single node is tens of
-		// nanoseconds, so a per-node Err() call would dominate the search.
-		if nodes&0xfff == 0 {
-			if err := ctx.Err(); err != nil {
-				return false, fmt.Errorf("exact: canceled after %d nodes at T=%d: %w", nodes, T, err)
-			}
-		}
-		if k == n {
-			return true, nil
-		}
-		j := order[k]
-		for _, s := range cands[j] {
-			p := in.Proc[j][s]
-			ok := true
-			// (2b) along the ancestor chain of s, including the forced
-			// future volume of each subtree.
-			for _, anc := range f.Chain(s) {
-				add := p
-				if c := ceiling[j]; c >= 0 && inChain(f, c, anc) {
-					// j's minimum was already counted in forcedMin[anc];
-					// only the excess over the minimum is new.
-					add = p - minP[j]
-				}
-				if used[anc]+forcedMin[anc]+add > capOf[anc] {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			// Commit.
-			for _, anc := range f.Chain(s) {
-				used[anc] += p
-			}
-			if c := ceiling[j]; c >= 0 {
-				for _, anc := range f.Chain(c) {
-					forcedMin[anc] -= minP[j]
-				}
-			}
-			assign[j] = s
-			done, err := dfs(k + 1)
-			if err != nil {
-				return false, err
-			}
-			if done {
-				return true, nil
-			}
-			// Undo.
-			assign[j] = -1
-			for _, anc := range f.Chain(s) {
-				used[anc] -= p
-			}
-			if c := ceiling[j]; c >= 0 {
-				for _, anc := range f.Chain(c) {
-					forcedMin[anc] += minP[j]
-				}
-			}
-		}
-		return false, nil
-	}
-	ok, err := dfs(0)
+	ok, err := ws.search()
 	if err != nil {
 		return nil, false, err
 	}
 	if !ok {
 		return nil, false, nil
 	}
-	return assign, true, nil
+	out := make(model.Assignment, ws.n)
+	copy(out, ws.assign)
+	return out, true, nil
+}
+
+// prepare sizes the workspace for (in, T) and builds the probe state:
+// candidate sets per job under the (2c) pruning (cheapest first), the
+// subtree ceilings and forced-volume lower bounds, capacities, and the
+// most-constrained-first job order. It reports false when some job has no
+// candidate at all — the probe is trivially infeasible.
+func (w *Workspace) prepare(ctx context.Context, in *model.Instance, T int64, opts Options) bool {
+	f := in.Family
+	n := in.N()
+	nsets := f.Len()
+	w.in, w.T, w.ctx = in, T, ctx
+	w.n = n
+	w.limit = opts.maxNodes()
+
+	if w.family != f {
+		// Ancestor-membership table: one bool lookup replaces a chain walk
+		// in the innermost DFS pruning test.
+		w.family = f
+		w.nsets = nsets
+		w.inSub = scratch.Grow(w.inSub, nsets*nsets)
+		scratch.Clear(w.inSub)
+		for c := 0; c < nsets; c++ {
+			for _, anc := range f.Chain(c) {
+				w.inSub[c*nsets+anc] = true
+			}
+		}
+	}
+
+	w.cands = scratch.Grow(w.cands, n)
+	w.candArena = scratch.Grow(w.candArena, n*nsets)
+	w.ceiling = scratch.Grow(w.ceiling, n)
+	w.minP = scratch.Grow(w.minP, n)
+	w.forcedMin = scratch.Grow(w.forcedMin, nsets)
+	scratch.Clear(w.forcedMin)
+	w.capOf = scratch.Grow(w.capOf, nsets)
+	w.used = scratch.Grow(w.used, nsets)
+	scratch.Clear(w.used)
+	w.order = scratch.Grow(w.order, n)
+	w.assign = scratch.Grow(w.assign, n)
+	w.ancCount = scratch.Grow(w.ancCount, nsets)
+
+	// Candidate sets per job under the (2c) pruning, cheapest first.
+	for j := 0; j < n; j++ {
+		base := j * nsets
+		cj := w.candArena[base : base : base+nsets]
+		for s := 0; s < nsets; s++ {
+			if in.Proc[j][s] <= T {
+				cj = append(cj, s)
+			}
+		}
+		if len(cj) == 0 {
+			return false
+		}
+		w.cands[j] = cj
+		sort.Slice(cj, func(a, b int) bool {
+			return in.Proc[j][cj[a]] < in.Proc[j][cj[b]]
+		})
+	}
+
+	// ceiling[j]: the minimal set whose subtree contains every candidate of
+	// j, i.e. the subtree j is forced into (-1 if candidates span roots).
+	for j := 0; j < n; j++ {
+		w.ceiling[j] = w.commonAncestor(f, w.cands[j])
+	}
+
+	// forcedMin[s]: total of min processing times of unassigned jobs whose
+	// ceiling lies in subtree(s) — a lower bound on future volume in s.
+	for j := 0; j < n; j++ {
+		w.minP[j] = in.Proc[j][w.cands[j][0]]
+		if c := w.ceiling[j]; c >= 0 {
+			for _, anc := range f.Chain(c) {
+				w.forcedMin[anc] += w.minP[j]
+			}
+		}
+	}
+
+	for s := 0; s < nsets; s++ {
+		w.capOf[s] = int64(f.Size(s)) * T
+	}
+
+	// Most-constrained-first ordering: fewest candidates, then largest
+	// minimum processing time.
+	for j := 0; j < n; j++ {
+		w.order[j] = j
+	}
+	sort.SliceStable(w.order, func(a, b int) bool {
+		ja, jb := w.order[a], w.order[b]
+		if len(w.cands[ja]) != len(w.cands[jb]) {
+			return len(w.cands[ja]) < len(w.cands[jb])
+		}
+		return w.minP[ja] > w.minP[jb]
+	})
+
+	for j := 0; j < n; j++ {
+		w.assign[j] = -1
+	}
+	return true
+}
+
+// search runs the DFS from the root. It is re-runnable on a prepared
+// workspace: an unsuccessful search restores every accumulator by
+// undoing, and the node counter resets here. Steady-state it allocates
+// nothing — errors (node cap, cancellation) are the only allocating
+// paths, and they terminate the probe.
+func (w *Workspace) search() (bool, error) {
+	w.nodes = 0
+	return w.dfs(0)
+}
+
+// dfs tries every candidate set of the k-th job in order, committing and
+// undoing the volume accumulators in place. This is the measured hot path
+// of the exact solver: no allocation, no chain walks (the ancestor table
+// answers the (2b) membership test), and the context poll sits on a
+// ~4k-node stride, outside the per-node arithmetic.
+func (w *Workspace) dfs(k int) (bool, error) {
+	w.nodes++
+	if w.nodes > w.limit {
+		return false, fmt.Errorf("exact: node cap %d exceeded at T=%d", w.limit, w.T)
+	}
+	// Poll the context on a stride: a single node is tens of
+	// nanoseconds, so a per-node Err() call would dominate the search.
+	if w.nodes&0xfff == 0 && w.ctx != nil {
+		if err := w.ctx.Err(); err != nil {
+			return false, fmt.Errorf("exact: canceled after %d nodes at T=%d: %w", w.nodes, w.T, err)
+		}
+	}
+	if k == w.n {
+		return true, nil
+	}
+	f := w.in.Family
+	nsets := w.nsets
+	j := w.order[k]
+	proc := w.in.Proc[j]
+	cl := w.ceiling[j]
+	for _, s := range w.cands[j] {
+		p := proc[s]
+		ok := true
+		// (2b) along the ancestor chain of s, including the forced
+		// future volume of each subtree.
+		for _, anc := range f.Chain(s) {
+			add := p
+			if cl >= 0 && w.inSub[cl*nsets+anc] {
+				// j's minimum was already counted in forcedMin[anc];
+				// only the excess over the minimum is new.
+				add = p - w.minP[j]
+			}
+			if w.used[anc]+w.forcedMin[anc]+add > w.capOf[anc] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Commit.
+		for _, anc := range f.Chain(s) {
+			w.used[anc] += p
+		}
+		if cl >= 0 {
+			for _, anc := range f.Chain(cl) {
+				w.forcedMin[anc] -= w.minP[j]
+			}
+		}
+		w.assign[j] = s
+		done, err := w.dfs(k + 1)
+		if err != nil {
+			return false, err
+		}
+		if done {
+			return true, nil
+		}
+		// Undo.
+		w.assign[j] = -1
+		for _, anc := range f.Chain(s) {
+			w.used[anc] -= p
+		}
+		if cl >= 0 {
+			for _, anc := range f.Chain(cl) {
+				w.forcedMin[anc] += w.minP[j]
+			}
+		}
+	}
+	return false, nil
 }
 
 // commonAncestor returns the minimal family set whose subtree contains all
 // the given sets, or -1 when they span different roots.
-func commonAncestor(f *laminar.Family, sets []int) int {
+func (w *Workspace) commonAncestor(f *laminar.Family, sets []int) int {
 	if len(sets) == 0 {
 		return -1
 	}
 	// Count how often each ancestor appears across the chains; walking the
 	// first chain bottom-up, the first ancestor present in all chains is
 	// the minimal common one.
-	count := map[int]int{}
+	count := w.ancCount
+	for i := range count {
+		count[i] = 0
+	}
 	for _, s := range sets {
 		for _, anc := range f.Chain(s) {
 			count[anc]++
 		}
 	}
 	for _, anc := range f.Chain(sets[0]) {
-		if count[anc] == len(sets) {
+		if count[anc] == int32(len(sets)) {
 			return anc
 		}
 	}
 	return -1
-}
-
-// inChain reports whether anc lies on the ancestor chain of set c
-// (c itself included), i.e. anc ⊇ c.
-func inChain(f *laminar.Family, c, anc int) bool {
-	for _, a := range f.Chain(c) {
-		if a == anc {
-			return true
-		}
-	}
-	return false
 }

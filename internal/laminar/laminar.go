@@ -28,7 +28,9 @@ type Family struct {
 	bottomUp []int   // set ids ordered so subsets precede supersets
 	minCover []int   // minCover[machine] = minimal set containing machine, -1 if none
 	roots    []int
-	single   []int // single[machine] = id of singleton {machine}, -1 if absent
+	single   []int   // single[machine] = id of singleton {machine}, -1 if absent
+	chain    [][]int // chain[id] = id, parent(id), ..., root (precomputed)
+	subtree  [][]int // subtree[id] = descendants of id incl. itself (precomputed)
 }
 
 // New validates that the given subsets of {0,...,m-1} form a laminar family
@@ -180,6 +182,25 @@ func (f *Family) build() {
 			f.single[f.sets[id][0]] = id
 		}
 	}
+	// Chains and subtrees are precomputed once: Chain and SubsetIDs sit on
+	// the branch-and-bound and relaxation hot paths, where a per-call
+	// allocation would dominate the solvers (see PERFORMANCE.md).
+	f.chain = make([][]int, n)
+	for id := 0; id < n; id++ {
+		var c []int
+		for cur := id; cur >= 0; cur = f.parent[cur] {
+			c = append(c, cur)
+		}
+		f.chain[id] = c
+	}
+	f.subtree = make([][]int, n)
+	for id := 0; id < n; id++ {
+		out := []int{id}
+		for k := 0; k < len(out); k++ {
+			out = append(out, f.children[out[k]]...)
+		}
+		f.subtree[id] = out
+	}
 }
 
 // M returns the number of machines.
@@ -280,23 +301,18 @@ func (f *Family) ChildContaining(id, machine int) int {
 }
 
 // SubsetIDs returns all descendants of id in the inclusion forest,
-// including id itself.
+// including id itself. The slice is precomputed and shared: callers must
+// not modify it (it is on the solver hot paths, where a per-call copy
+// would dominate the runtime).
 func (f *Family) SubsetIDs(id int) []int {
-	out := []int{id}
-	for k := 0; k < len(out); k++ {
-		out = append(out, f.children[out[k]]...)
-	}
-	return out
+	return f.subtree[id]
 }
 
 // Chain returns the ancestor chain of id from itself up to its root:
-// id, parent(id), parent(parent(id)), ...
+// id, parent(id), parent(parent(id)), ... The slice is precomputed and
+// shared: callers must not modify it.
 func (f *Family) Chain(id int) []int {
-	var out []int
-	for cur := id; cur >= 0; cur = f.parent[cur] {
-		out = append(out, cur)
-	}
-	return out
+	return f.chain[id]
 }
 
 // IsTree reports whether the inclusion forest has a single root covering

@@ -1,28 +1,11 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs in the form
-//
-//	min c·x   subject to   A x {≤,=,≥} b,  x ≥ 0.
-//
-// It is the LP oracle behind the paper's Section V rounding (binary search
-// over the makespan T on the fractional relaxation of IP-3), the
-// Lenstra–Shmoys–Tardos rounding for unrelated machines, and the iterative
-// rounding of Section VI. The solver returns basic feasible solutions, i.e.
-// vertices of the feasible polyhedron, which those roundings require.
-//
-// The implementation favors robustness over speed: rows are equilibrated at
-// build time, Dantzig pricing switches to Bland's rule after a run of
-// degenerate pivots (guaranteeing termination), and an iteration cap turns
-// pathological cases into errors instead of hangs. SolveCtx additionally
-// polls a context between pivots, so callers higher up the stack (the
-// Section V binary search, the Section VI iterative rounding) can abort a
-// solve cooperatively — the cancellation path -timeout in cmd/hbench
-// relies on.
 package lp
 
 import (
 	"context"
 	"fmt"
 	"math"
+
+	"hsp/internal/scratch"
 )
 
 // Op is a constraint comparison operator.
@@ -69,29 +52,57 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", int(s))
 }
 
+// constraint references a slice [off, off+n) of the problem's index/value
+// arenas — constraints share two flat backing arrays instead of owning a
+// pair of slices each, so rebuilding a problem after Reset allocates
+// nothing once the arenas have grown to size.
 type constraint struct {
-	idx []int
-	val []float64
-	op  Op
-	rhs float64
+	off, n int
+	op     Op
+	rhs    float64
 }
 
 // Problem is a linear program under construction. All variables are
 // implicitly nonnegative. The zero objective turns Solve into a pure
-// feasibility check.
+// feasibility check. The zero Problem is not ready for use: construct
+// with NewProblem, or re-dimension an existing one in place with Reset.
 type Problem struct {
 	nvars int
 	obj   []float64
 	cons  []constraint
+	idxs  []int     // constraint index arena
+	vals  []float64 // constraint coefficient arena
+	stamp []int     // per-variable marks for duplicate detection
+	gen   int       // current AddConstraint generation for stamp
 }
 
 // NewProblem creates a problem with the given number of nonnegative
 // variables and a zero objective.
 func NewProblem(nvars int) *Problem {
+	p := &Problem{}
+	p.Reset(nvars)
+	return p
+}
+
+// Reset re-dimensions the problem in place: nvars fresh nonnegative
+// variables, a zero objective, no constraints. The constraint arenas and
+// scratch buffers are retained, so callers that repeatedly rebuild
+// near-identical problems (the binary searches in internal/relax and
+// internal/unrelated) stop allocating once the arenas reach steady-state
+// size.
+func (p *Problem) Reset(nvars int) {
 	if nvars < 0 {
 		panic("lp: negative variable count")
 	}
-	return &Problem{nvars: nvars, obj: make([]float64, nvars)}
+	p.nvars = nvars
+	p.obj = scratch.Grow(p.obj, nvars)
+	scratch.Clear(p.obj)
+	p.cons = p.cons[:0]
+	p.idxs = p.idxs[:0]
+	p.vals = p.vals[:0]
+	p.stamp = scratch.Grow(p.stamp, nvars)
+	scratch.Clear(p.stamp)
+	p.gen = 0
 }
 
 // NumVars returns the number of structural variables.
@@ -107,26 +118,25 @@ func (p *Problem) SetObjectiveCoeff(i int, c float64) {
 
 // AddConstraint appends the constraint Σ val[k]·x[idx[k]] op rhs.
 // idx entries must be distinct, in range, and idx/val of equal length.
+// The entries are copied into the problem's arenas; the caller may reuse
+// idx and val.
 func (p *Problem) AddConstraint(idx []int, val []float64, op Op, rhs float64) error {
 	if len(idx) != len(val) {
 		return fmt.Errorf("lp: idx/val length mismatch: %d vs %d", len(idx), len(val))
 	}
-	seen := make(map[int]bool, len(idx))
+	p.gen++
 	for _, i := range idx {
 		if i < 0 || i >= p.nvars {
 			return fmt.Errorf("lp: variable index %d out of range [0,%d)", i, p.nvars)
 		}
-		if seen[i] {
+		if p.stamp[i] == p.gen {
 			return fmt.Errorf("lp: variable index %d repeated in constraint", i)
 		}
-		seen[i] = true
+		p.stamp[i] = p.gen
 	}
-	p.cons = append(p.cons, constraint{
-		idx: append([]int(nil), idx...),
-		val: append([]float64(nil), val...),
-		op:  op,
-		rhs: rhs,
-	})
+	p.cons = append(p.cons, constraint{off: len(p.idxs), n: len(idx), op: op, rhs: rhs})
+	p.idxs = append(p.idxs, idx...)
+	p.vals = append(p.vals, val...)
 	return nil
 }
 
@@ -164,10 +174,29 @@ func (p *Problem) Solve() (*Solution, error) {
 // with an error wrapping ctx.Err() once the context is done, so a
 // canceled caller never waits for a long simplex run to finish. The
 // returned error satisfies errors.Is against context.Canceled or
-// context.DeadlineExceeded.
+// context.DeadlineExceeded. The working tableau comes from an internal
+// pool; callers that re-solve in a loop should hold a Workspace and use
+// SolveWS instead.
 func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
-	t := newTableau(p)
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	return p.SolveWS(ctx, ws)
+}
+
+// SolveWS is SolveCtx on a caller-held Workspace: the tableau reuses the
+// workspace's backing arrays, so re-solving near-identical problems
+// allocates nothing but the returned Solution. A nil ctx disables the
+// between-pivot cancellation polls; a nil ws falls back to the internal
+// pool. The Workspace must not be used concurrently (see its doc).
+func (p *Problem) SolveWS(ctx context.Context, ws *Workspace) (*Solution, error) {
+	if ws == nil {
+		ws = wsPool.Get().(*Workspace)
+		defer wsPool.Put(ws)
+	}
+	t := &ws.t
+	t.init(p)
 	t.ctx = ctx
+	defer func() { t.ctx = nil }() // don't retain the context in the pool
 	sol := &Solution{}
 
 	// Phase 1: minimize the sum of artificial variables.
@@ -197,7 +226,7 @@ func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	}
 
 	sol.Status = Optimal
-	sol.X = make([]float64, p.nvars)
+	sol.X = make([]float64, p.nvars) // fresh: results survive workspace reuse
 	for r := 0; r < t.nrows; r++ {
 		if v := t.basis[r]; v < p.nvars {
 			sol.X[v] = t.rhs[r]
@@ -220,7 +249,12 @@ func (p *Problem) Feasible() (bool, []float64, error) {
 
 // FeasibleCtx is Feasible under a context (see SolveCtx).
 func (p *Problem) FeasibleCtx(ctx context.Context) (bool, []float64, error) {
-	sol, err := p.SolveCtx(ctx)
+	return p.FeasibleWS(ctx, nil)
+}
+
+// FeasibleWS is FeasibleCtx on a caller-held Workspace (see SolveWS).
+func (p *Problem) FeasibleWS(ctx context.Context, ws *Workspace) (bool, []float64, error) {
+	sol, err := p.SolveWS(ctx, ws)
 	if err != nil {
 		return false, nil, err
 	}
@@ -230,12 +264,15 @@ func (p *Problem) FeasibleCtx(ctx context.Context) (bool, []float64, error) {
 	return true, sol.X, nil
 }
 
-// tableau is the dense simplex working state.
+// tableau is the dense simplex working state. The matrix is one flat
+// nrows×ncols array (row r at a[r*ncols:]) backed by a Workspace, so a
+// re-solve reuses the previous solve's memory and the pivot loops walk
+// contiguous cache lines.
 type tableau struct {
 	nrows, ncols  int // ncols excludes the RHS
 	nstruct, nart int
 	artStart      int
-	a             [][]float64 // nrows × ncols
+	a             []float64 // flat nrows × ncols
 	rhs           []float64
 	basis         []int     // basic variable of each row
 	cost1, cost2  []float64 // reduced-cost rows, length ncols+1 (last = -objective)
@@ -246,7 +283,9 @@ type tableau struct {
 	ctx           context.Context // polled between pivots; nil = never canceled
 }
 
-func newTableau(p *Problem) *tableau {
+// init builds the tableau for p in place, reusing backing arrays from the
+// previous solve where they are large enough.
+func (t *tableau) init(p *Problem) {
 	nrows := len(p.cons)
 	// Column layout: [structural | slacks+surpluses | artificials].
 	// Counting must use the op AFTER rhs-sign normalization: an LE row with
@@ -273,27 +312,32 @@ func newTableau(p *Problem) *tableau {
 		}
 	}
 	ncols := p.nvars + nslack + nart
-	t := &tableau{
-		nrows:    nrows,
-		ncols:    ncols,
-		nstruct:  p.nvars,
-		nart:     nart,
-		artStart: p.nvars + nslack,
-		a:        make([][]float64, nrows),
-		rhs:      make([]float64, nrows),
-		basis:    make([]int, nrows),
-		cost1:    make([]float64, ncols+1),
-		cost2:    make([]float64, ncols+1),
-		rowScale: make([]float64, nrows),
-	}
+	t.nrows, t.ncols = nrows, ncols
+	t.nstruct, t.nart = p.nvars, nart
+	t.artStart = p.nvars + nslack
+	t.unbounded = false
+	t.degenStreak = 0
+	t.blandMode = false
+	t.a = scratch.Grow(t.a, nrows*ncols)
+	scratch.Clear(t.a)
+	t.rhs = scratch.Grow(t.rhs, nrows)
+	t.basis = scratch.Grow(t.basis, nrows)
+	t.cost1 = scratch.Grow(t.cost1, ncols+1)
+	scratch.Clear(t.cost1)
+	t.cost2 = scratch.Grow(t.cost2, ncols+1)
+	scratch.Clear(t.cost2)
+	t.rowScale = scratch.Grow(t.rowScale, nrows)
+
 	slack := p.nvars
 	art := t.artStart
 	for r, c := range p.cons {
-		row := make([]float64, ncols)
+		row := t.a[r*ncols : (r+1)*ncols]
 		rhs := c.rhs
 		op := c.op
-		for k, i := range c.idx {
-			row[i] = c.val[k]
+		idx := p.idxs[c.off : c.off+c.n]
+		val := p.vals[c.off : c.off+c.n]
+		for k, i := range idx {
+			row[i] = val[k]
 		}
 		// Normalize to rhs ≥ 0.
 		if rhs < 0 {
@@ -346,7 +390,6 @@ func newTableau(p *Problem) *tableau {
 			t.basis[r] = art
 			art++
 		}
-		t.a[r] = row
 		t.rhs[r] = rhs
 	}
 
@@ -357,11 +400,12 @@ func newTableau(p *Problem) *tableau {
 	}
 	for r := 0; r < nrows; r++ {
 		if t.basis[r] >= t.artStart {
+			row := t.a[r*ncols : (r+1)*ncols]
 			for j := 0; j <= ncols; j++ {
 				if j == ncols {
 					t.cost1[j] -= t.rhs[r]
 				} else {
-					t.cost1[j] -= t.a[r][j]
+					t.cost1[j] -= row[j]
 				}
 			}
 		}
@@ -370,7 +414,6 @@ func newTableau(p *Problem) *tableau {
 	for i, c := range p.obj {
 		t.cost2[i] = c
 	}
-	return t
 }
 
 // priceOut recomputes the reduced-cost row so basic columns cost zero.
@@ -381,7 +424,7 @@ func (t *tableau) priceOut(cost []float64) {
 		if cv == 0 {
 			continue
 		}
-		row := t.a[r]
+		row := t.a[r*t.ncols : (r+1)*t.ncols]
 		for j := 0; j < t.ncols; j++ {
 			cost[j] -= cv * row[j]
 		}
@@ -398,6 +441,8 @@ func (t *tableau) iterate(cost []float64, phase1 bool) (int, error) {
 	for ; iters < maxIter; iters++ {
 		// Each pivot is O(rows·cols); a per-pivot context poll is noise
 		// next to that and keeps the cancellation latency to one pivot.
+		// The poll stays here, at the top of the loop — never inside the
+		// per-element pivot arithmetic below.
 		if t.ctx != nil {
 			if err := t.ctx.Err(); err != nil {
 				return iters, fmt.Errorf("canceled after %d pivots: %w", iters, err)
@@ -461,7 +506,7 @@ func (t *tableau) chooseLeaving(enter int) int {
 	bestRatio := math.Inf(1)
 	bestPivot := 0.0
 	for r := 0; r < t.nrows; r++ {
-		a := t.a[r][enter]
+		a := t.a[r*t.ncols+enter]
 		if a <= pivTol {
 			continue
 		}
@@ -487,10 +532,11 @@ func (t *tableau) chooseLeaving(enter int) int {
 
 // pivot makes column enter basic in row leave, updating both cost rows.
 func (t *tableau) pivot(leave, enter int) {
-	prow := t.a[leave]
+	nc := t.ncols
+	prow := t.a[leave*nc : (leave+1)*nc]
 	pval := prow[enter]
 	inv := 1 / pval
-	for j := 0; j < t.ncols; j++ {
+	for j := 0; j < nc; j++ {
 		prow[j] *= inv
 	}
 	prow[enter] = 1 // exact
@@ -499,12 +545,12 @@ func (t *tableau) pivot(leave, enter int) {
 		if r == leave {
 			continue
 		}
-		f := t.a[r][enter]
+		f := t.a[r*nc+enter]
 		if f == 0 {
 			continue
 		}
-		row := t.a[r]
-		for j := 0; j < t.ncols; j++ {
+		row := t.a[r*nc : (r+1)*nc]
+		for j := 0; j < nc; j++ {
 			row[j] -= f * prow[j]
 		}
 		row[enter] = 0 // exact
@@ -513,16 +559,16 @@ func (t *tableau) pivot(leave, enter int) {
 			t.rhs[r] = 0
 		}
 	}
-	for _, cost := range [][]float64{t.cost1, t.cost2} {
+	for _, cost := range [2][]float64{t.cost1, t.cost2} {
 		f := cost[enter]
 		if f == 0 {
 			continue
 		}
-		for j := 0; j < t.ncols; j++ {
+		for j := 0; j < nc; j++ {
 			cost[j] -= f * prow[j]
 		}
 		cost[enter] = 0
-		cost[t.ncols] -= f * t.rhs[leave]
+		cost[nc] -= f * t.rhs[leave]
 	}
 	t.basis[leave] = enter
 }
@@ -536,7 +582,7 @@ func (t *tableau) driveOutArtificials() {
 		if t.basis[r] < t.artStart {
 			continue
 		}
-		row := t.a[r]
+		row := t.a[r*t.ncols : (r+1)*t.ncols]
 		bestJ, bestA := -1, pivTol
 		for j := 0; j < t.artStart; j++ {
 			if av := math.Abs(row[j]); av > bestA {

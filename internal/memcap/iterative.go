@@ -60,6 +60,10 @@ func iterativeRound(ctx context.Context, varJob []int, nJobs int, packings []Pac
 	droppedFlag := make([]bool, len(packings))
 	res := &roundResult{choice: choice}
 
+	// One LP problem and one simplex workspace for all rounding
+	// iterations: each residual LP rebuilds into the same arenas.
+	var p lp.Problem
+	ws := lp.NewWorkspace()
 	unassigned := nJobs
 	for iter := 0; unassigned > 0; iter++ {
 		if iter > 4*(len(varJob)+len(packings)+4) {
@@ -74,7 +78,7 @@ func iterativeRound(ctx context.Context, varJob []int, nJobs int, packings []Pac
 				vars = append(vars, v)
 			}
 		}
-		p := lp.NewProblem(len(vars))
+		p.Reset(len(vars))
 		jobVars := make(map[int][]int)
 		for _, v := range vars {
 			jobVars[varJob[v]] = append(jobVars[varJob[v]], idxOf[v])
@@ -109,7 +113,7 @@ func iterativeRound(ctx context.Context, varJob []int, nJobs int, packings []Pac
 				p.MustAddConstraint(idx, val, lp.LE, pk.B-fixedUse[l])
 			}
 		}
-		sol, err := p.SolveCtx(ctx)
+		sol, err := p.SolveWS(ctx, ws)
 		if err != nil {
 			return nil, fmt.Errorf("memcap: %w", err)
 		}

@@ -130,9 +130,12 @@ func pairVars(in *model.Instance, T int64, fits func(set, job int) bool) (varJob
 }
 
 // feasibleConstrainedLP reports whether the (IP-3)+memory relaxation is
-// feasible at T. The packing builder receives the variable list.
-func feasibleConstrainedLP(ctx context.Context, in *model.Instance, varJob []int, pairs [][2]int, packings []Packing) (bool, error) {
-	p := lp.NewProblem(len(pairs))
+// feasible at T. The packing builder receives the variable list. The
+// caller-held problem and simplex workspace are reused probe to probe
+// (the problem is rebuilt in place via Reset; a nil workspace falls back
+// to the solver's internal pool).
+func feasibleConstrainedLP(ctx context.Context, in *model.Instance, varJob []int, pairs [][2]int, packings []Packing, p *lp.Problem, ws *lp.Workspace) (bool, error) {
+	p.Reset(len(pairs))
 	jobVars := make([][]int, in.N())
 	for v, j := range varJob {
 		jobVars[j] = append(jobVars[j], v)
@@ -158,7 +161,7 @@ func feasibleConstrainedLP(ctx context.Context, in *model.Instance, varJob []int
 			p.MustAddConstraint(idx, val, lp.LE, pk.B)
 		}
 	}
-	ok, _, err := p.FeasibleCtx(ctx)
+	ok, _, err := p.FeasibleWS(ctx, ws)
 	return ok, err
 }
 
@@ -361,9 +364,13 @@ func minFeasibleT(ctx context.Context, in *model.Instance, build func(T int64) (
 	if hi < lo {
 		hi = lo
 	}
+	// One problem and one simplex workspace across every probe of the
+	// binary search: each probe rebuilds into the same arenas and tableau.
+	var prob lp.Problem
+	ws := lp.NewWorkspace()
 	check := func(T int64) (bool, error) {
 		varJob, pairs, packs := build(T)
-		return feasibleConstrainedLP(ctx, in, varJob, pairs, packs)
+		return feasibleConstrainedLP(ctx, in, varJob, pairs, packs, &prob, ws)
 	}
 	if ok, err := check(hi); err != nil {
 		return 0, err

@@ -1,0 +1,41 @@
+package relax_test
+
+import (
+	"testing"
+
+	"hsp/internal/model"
+	"hsp/internal/relax"
+	"hsp/internal/workload"
+)
+
+// benchInstance is the E12-shaped workload: an SMP-CMP hierarchy whose
+// (IP-3) binary search re-solves ~10 near-identical LPs per call.
+func benchInstance(b *testing.B, jobs int) *model.Instance {
+	b.Helper()
+	in, err := workload.Generate(workload.Config{
+		Topology: workload.SMPCMP, Branching: []int{2, 2, 2},
+		Jobs: jobs, Seed: 42, MinWork: 10, MaxWork: 100,
+		SpeedSpread: 0.5, OverheadPerLevel: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in.WithSingletons()
+}
+
+// BenchmarkMinFeasibleT is the LP binary search of Section V — the
+// measured hot path of E12 — end to end on a medium instance.
+func BenchmarkMinFeasibleT(b *testing.B) {
+	in := benchInstance(b, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		T, _, err := relax.MinFeasibleT(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if T <= 0 {
+			b.Fatalf("T* = %d", T)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"hsp/internal/lp"
 	"hsp/internal/model"
+	"hsp/internal/scratch"
 )
 
 // Fractional is a fractional assignment: X[s][j] is the share of job j on
@@ -89,48 +90,80 @@ func (fr *Fractional) SingletonOnly(in *model.Instance, tol float64) bool {
 	return true
 }
 
+// Workspace holds the relaxation's rebuild-and-re-solve state: the LP
+// problem (whose constraint arenas are reused via lp.Problem.Reset), the
+// variable/pair tables, constraint scratch, and the simplex Workspace.
+// The binary search re-solves near-identical LPs at every probe, so
+// holding one Workspace across the probes makes everything after the
+// first probe allocation-free except the LP's returned Solution.
+//
+// A Workspace is owned by one solve at a time and is not goroutine-safe;
+// LP points at the underlying simplex workspace for callers (like
+// internal/approx) that continue with further LP solves on other
+// problems.
+type Workspace struct {
+	LP    *lp.Workspace
+	prob  lp.Problem
+	pairs [][2]int
+	index []int32 // (s*n+j) → LP variable index + 1; 0 = no variable
+	idx   []int   // constraint scratch, copied by AddConstraint
+	val   []float64
+}
+
+// NewWorkspace returns a Workspace ready for the WS entry points.
+func NewWorkspace() *Workspace { return &Workspace{LP: lp.NewWorkspace()} }
+
 // BuildFeasibility constructs the LP relaxation of (IP-3) for makespan T.
 // It returns the problem plus the (set, job) pair of each LP variable.
 func BuildFeasibility(in *model.Instance, T int64) (*lp.Problem, [][2]int) {
+	ws := &Workspace{}
+	buildFeasibilityWS(in, T, ws)
+	return &ws.prob, ws.pairs
+}
+
+// buildFeasibilityWS builds the (IP-3) relaxation into ws.prob/ws.pairs,
+// reusing the workspace's arenas. Constraint order matches the paper:
+// the (3) assignment rows, then the (3a) subtree load rows.
+func buildFeasibilityWS(in *model.Instance, T int64, ws *Workspace) {
 	f := in.Family
-	var pairs [][2]int
-	index := make(map[[2]int]int)
-	for s := 0; s < f.Len(); s++ {
-		for j := 0; j < in.N(); j++ {
+	n := in.N()
+	nsets := f.Len()
+	ws.pairs = ws.pairs[:0]
+	ws.index = scratch.Grow(ws.index, nsets*n)
+	scratch.Clear(ws.index)
+	for s := 0; s < nsets; s++ {
+		for j := 0; j < n; j++ {
 			if in.Proc[j][s] <= T {
-				index[[2]int{s, j}] = len(pairs)
-				pairs = append(pairs, [2]int{s, j})
+				ws.index[s*n+j] = int32(len(ws.pairs)) + 1
+				ws.pairs = append(ws.pairs, [2]int{s, j})
 			}
 		}
 	}
-	p := lp.NewProblem(len(pairs))
+	ws.prob.Reset(len(ws.pairs))
 	// (3): Σ_α x_αj = 1 for every job.
-	for j := 0; j < in.N(); j++ {
-		var idx []int
-		var val []float64
-		for s := 0; s < f.Len(); s++ {
-			if v, ok := index[[2]int{s, j}]; ok {
-				idx = append(idx, v)
-				val = append(val, 1)
+	for j := 0; j < n; j++ {
+		ws.idx, ws.val = ws.idx[:0], ws.val[:0]
+		for s := 0; s < nsets; s++ {
+			if v := ws.index[s*n+j]; v != 0 {
+				ws.idx = append(ws.idx, int(v-1))
+				ws.val = append(ws.val, 1)
 			}
 		}
-		p.MustAddConstraint(idx, val, lp.EQ, 1)
+		ws.prob.MustAddConstraint(ws.idx, ws.val, lp.EQ, 1)
 	}
 	// (3a): Σ_j Σ_{β⊆α} p_βj x_βj ≤ |α|·T for every set α.
-	for s := 0; s < f.Len(); s++ {
-		var idx []int
-		var val []float64
+	for s := 0; s < nsets; s++ {
+		ws.idx, ws.val = ws.idx[:0], ws.val[:0]
 		for _, b := range f.SubsetIDs(s) {
-			for j := 0; j < in.N(); j++ {
-				if v, ok := index[[2]int{b, j}]; ok {
-					idx = append(idx, v)
-					val = append(val, float64(in.Proc[j][b]))
+			for j := 0; j < n; j++ {
+				if v := ws.index[b*n+j]; v != 0 {
+					ws.idx = append(ws.idx, int(v-1))
+					ws.val = append(ws.val, float64(in.Proc[j][b]))
 				}
 			}
 		}
-		p.MustAddConstraint(idx, val, lp.LE, float64(f.Size(s))*float64(T))
+		ws.prob.MustAddConstraint(ws.idx, ws.val, lp.LE, float64(f.Size(s))*float64(T))
 	}
-	return p, pairs
 }
 
 // Feasible solves the LP relaxation of (IP-3) at T and returns the
@@ -142,25 +175,42 @@ func Feasible(in *model.Instance, T int64) (bool, *Fractional, error) {
 // FeasibleCtx is Feasible under a context: the underlying simplex solve
 // aborts between pivots once ctx is done (the error wraps ctx.Err()).
 func FeasibleCtx(ctx context.Context, in *model.Instance, T int64) (bool, *Fractional, error) {
+	return FeasibleWS(ctx, in, T, nil)
+}
+
+// FeasibleWS is FeasibleCtx on a caller-held Workspace (nil allocates a
+// private one).
+func FeasibleWS(ctx context.Context, in *model.Instance, T int64, ws *Workspace) (bool, *Fractional, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ok, x, err := feasibleWS(ctx, in, T, ws)
+	if err != nil || !ok {
+		return false, nil, err
+	}
+	fr := NewFractional(in)
+	for k, pr := range ws.pairs {
+		fr.X[pr[0]][pr[1]] = x[k]
+	}
+	return true, fr, nil
+}
+
+// feasibleWS is the probe shared by FeasibleWS and the binary search: it
+// reports feasibility and the raw vertex x over ws.pairs without
+// materializing a Fractional (the search only needs the verdict).
+func feasibleWS(ctx context.Context, in *model.Instance, T int64, ws *Workspace) (bool, []float64, error) {
 	// Fast negative: a job whose cheapest set exceeds T has no variable.
 	for j := 0; j < in.N(); j++ {
 		if v, _ := in.MinProc(j); v > T {
 			return false, nil, nil
 		}
 	}
-	p, pairs := BuildFeasibility(in, T)
-	ok, x, err := p.FeasibleCtx(ctx)
+	buildFeasibilityWS(in, T, ws)
+	ok, x, err := ws.prob.FeasibleWS(ctx, ws.LP)
 	if err != nil {
 		return false, nil, fmt.Errorf("relax: LP at T=%d: %w", T, err)
 	}
-	if !ok {
-		return false, nil, nil
-	}
-	fr := NewFractional(in)
-	for k, pr := range pairs {
-		fr.X[pr[0]][pr[1]] = x[k]
-	}
-	return true, fr, nil
+	return ok, x, nil
 }
 
 // MinFeasibleT binary-searches the minimal integer T for which the LP
@@ -174,6 +224,17 @@ func MinFeasibleT(in *model.Instance) (int64, *Fractional, error) {
 // checks ctx before every LP probe and each probe itself aborts between
 // simplex pivots, so cancellation latency is one pivot, not one search.
 func MinFeasibleTCtx(ctx context.Context, in *model.Instance) (int64, *Fractional, error) {
+	return MinFeasibleTWS(ctx, in, nil)
+}
+
+// MinFeasibleTWS is MinFeasibleTCtx on a caller-held Workspace (nil
+// allocates one for the whole search): every probe reuses one tableau and
+// one constraint arena, so the search's steady-state allocations are the
+// per-solve Solution plus the final Fractional.
+func MinFeasibleTWS(ctx context.Context, in *model.Instance, ws *Workspace) (int64, *Fractional, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	lo := in.LowerBoundSimple()
 	if lo < 1 {
 		lo = 1
@@ -185,42 +246,34 @@ func MinFeasibleTCtx(ctx context.Context, in *model.Instance) (int64, *Fractiona
 	if hi < lo {
 		hi = lo
 	}
-	var best *Fractional
+	anyFeasible := false
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		ok, fr, err := FeasibleCtx(ctx, in, mid)
+		ok, _, err := feasibleWS(ctx, in, mid, ws)
 		if err != nil {
 			return 0, nil, err
 		}
 		if ok {
 			hi = mid
-			best = fr
+			anyFeasible = true
 		} else {
 			lo = mid + 1
 		}
 	}
-	if best == nil {
-		ok, fr, err := FeasibleCtx(ctx, in, lo)
-		if err != nil {
-			return 0, nil, err
-		}
-		if !ok {
-			return 0, nil, fmt.Errorf("relax: LP infeasible even at the trivial upper bound %d", lo)
-		}
-		best = fr
-	} else {
-		// best may correspond to a larger T than lo if the last probe
-		// failed; re-solve at the final T when necessary.
-		ok, fr, err := FeasibleCtx(ctx, in, lo)
-		if err != nil {
-			return 0, nil, err
-		}
-		if !ok {
+	// The search's last probe need not have been at lo; solve there for
+	// the witness Fractional (this is also the only probe that pays for
+	// materializing one).
+	ok, fr, err := FeasibleWS(ctx, in, lo, ws)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !ok {
+		if anyFeasible {
 			return 0, nil, fmt.Errorf("relax: binary search landed on infeasible T=%d", lo)
 		}
-		best = fr
+		return 0, nil, fmt.Errorf("relax: LP infeasible even at the trivial upper bound %d", lo)
 	}
-	return lo, best, nil
+	return lo, fr, nil
 }
 
 // PushDown applies Lemma V.1 repeatedly: it returns a feasible fractional

@@ -1,0 +1,6 @@
+// Package testenv exposes build-environment facts tests need to adapt
+// to — currently only whether the race detector is enabled, which the
+// allocation-budget tests use to skip themselves (race instrumentation
+// adds allocations that testing.AllocsPerRun would misattribute to the
+// code under test).
+package testenv

@@ -14,6 +14,7 @@ import (
 	"hsp/internal/lp"
 	"hsp/internal/model"
 	"hsp/internal/sched"
+	"hsp/internal/scratch"
 )
 
 // Instance is an R||Cmax instance: P[j][i] is the processing time of job j
@@ -68,16 +69,44 @@ func FeasibleLP(in *Instance, T int64) (bool, [][]float64, error) {
 // FeasibleLPCtx is FeasibleLP under a context: the simplex solve aborts
 // between pivots once ctx is done (the error wraps ctx.Err()).
 func FeasibleLPCtx(ctx context.Context, in *Instance, T int64) (bool, [][]float64, error) {
+	return FeasibleLPWS(ctx, in, T, nil)
+}
+
+// FeasibleLPWS is FeasibleLPCtx on a caller-held simplex Workspace, so a
+// caller's further solves reuse one tableau (nil falls back to the
+// solver's internal pool).
+func FeasibleLPWS(ctx context.Context, in *Instance, T int64, ws *lp.Workspace) (bool, [][]float64, error) {
+	return feasibleLP(ctx, in, T, &lpScratch{ws: ws})
+}
+
+// pair is one (job, machine) LP variable of the feasibility relaxation.
+type pair struct{ j, i int }
+
+// lpScratch holds the R‖Cmax feasibility-LP build state — the problem
+// (rebuilt in place via lp.Problem.Reset), pair tables and constraint
+// scratch — plus the simplex workspace, so MinFeasibleT's binary search
+// rebuilds every probe into the same backing arrays.
+type lpScratch struct {
+	ws    *lp.Workspace
+	prob  lp.Problem
+	pairs []pair
+	index []int32 // j*m+i → LP variable index + 1; 0 = no variable
+	idx   []int
+	val   []float64
+}
+
+// feasibleLP builds and solves the relaxation at T using sc's arenas.
+func feasibleLP(ctx context.Context, in *Instance, T int64, sc *lpScratch) (bool, [][]float64, error) {
 	n, m := in.N(), in.M()
-	type pair struct{ j, i int }
-	var pairs []pair
-	index := map[pair]int{}
+	sc.pairs = sc.pairs[:0]
+	sc.index = scratch.Grow(sc.index, n*m)
+	scratch.Clear(sc.index)
 	for j := 0; j < n; j++ {
 		any := false
 		for i := 0; i < m; i++ {
 			if in.P[j][i] <= T {
-				index[pair{j, i}] = len(pairs)
-				pairs = append(pairs, pair{j, i})
+				sc.index[j*m+i] = int32(len(sc.pairs)) + 1
+				sc.pairs = append(sc.pairs, pair{j, i})
 				any = true
 			}
 		}
@@ -85,32 +114,30 @@ func FeasibleLPCtx(ctx context.Context, in *Instance, T int64) (bool, [][]float6
 			return false, nil, nil
 		}
 	}
-	p := lp.NewProblem(len(pairs))
+	sc.prob.Reset(len(sc.pairs))
 	for j := 0; j < n; j++ {
-		var idx []int
-		var val []float64
+		sc.idx, sc.val = sc.idx[:0], sc.val[:0]
 		for i := 0; i < m; i++ {
-			if v, ok := index[pair{j, i}]; ok {
-				idx = append(idx, v)
-				val = append(val, 1)
+			if v := sc.index[j*m+i]; v != 0 {
+				sc.idx = append(sc.idx, int(v-1))
+				sc.val = append(sc.val, 1)
 			}
 		}
-		p.MustAddConstraint(idx, val, lp.EQ, 1)
+		sc.prob.MustAddConstraint(sc.idx, sc.val, lp.EQ, 1)
 	}
 	for i := 0; i < m; i++ {
-		var idx []int
-		var val []float64
+		sc.idx, sc.val = sc.idx[:0], sc.val[:0]
 		for j := 0; j < n; j++ {
-			if v, ok := index[pair{j, i}]; ok {
-				idx = append(idx, v)
-				val = append(val, float64(in.P[j][i]))
+			if v := sc.index[j*m+i]; v != 0 {
+				sc.idx = append(sc.idx, int(v-1))
+				sc.val = append(sc.val, float64(in.P[j][i]))
 			}
 		}
-		if len(idx) > 0 {
-			p.MustAddConstraint(idx, val, lp.LE, float64(T))
+		if len(sc.idx) > 0 {
+			sc.prob.MustAddConstraint(sc.idx, sc.val, lp.LE, float64(T))
 		}
 	}
-	ok, x, err := p.FeasibleCtx(ctx)
+	ok, x, err := sc.prob.FeasibleWS(ctx, sc.ws)
 	if err != nil || !ok {
 		return false, nil, err
 	}
@@ -118,7 +145,7 @@ func FeasibleLPCtx(ctx context.Context, in *Instance, T int64) (bool, [][]float6
 	for j := range out {
 		out[j] = make([]float64, m)
 	}
-	for k, pr := range pairs {
+	for k, pr := range sc.pairs {
 		out[pr.j][pr.i] = x[k]
 	}
 	return true, out, nil
@@ -141,10 +168,14 @@ func MinFeasibleT(in *Instance) (int64, [][]float64, error) {
 	if hi < lo {
 		hi = lo
 	}
+	// One build scratch and one simplex workspace across every probe of
+	// the search: each re-solve after the first rebuilds into the same
+	// problem arenas and tableau.
+	sc := &lpScratch{ws: lp.NewWorkspace()}
 	var best [][]float64
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		ok, x, err := FeasibleLP(in, mid)
+		ok, x, err := feasibleLP(context.Background(), in, mid, sc)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -155,7 +186,7 @@ func MinFeasibleT(in *Instance) (int64, [][]float64, error) {
 		}
 	}
 	if best == nil {
-		ok, x, err := FeasibleLP(in, lo)
+		ok, x, err := feasibleLP(context.Background(), in, lo, sc)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -164,7 +195,7 @@ func MinFeasibleT(in *Instance) (int64, [][]float64, error) {
 		}
 		best = x
 	} else {
-		ok, x, err := FeasibleLP(in, lo)
+		ok, x, err := feasibleLP(context.Background(), in, lo, sc)
 		if err != nil || !ok {
 			return 0, nil, fmt.Errorf("unrelated: re-solve at T*=%d failed (err=%v)", lo, err)
 		}
