@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: all build vet fmt-check lint-docs test race bench-quick bench-packs \
-	bench-shard bench-merge bench-sharded bench-alloc bench-hot profile ci
+	bench-shard bench-merge bench-sharded bench-alloc bench-hot profile \
+	hspd-smoke ci
 
 all: build vet test
 
@@ -97,6 +98,20 @@ bench-hot:
 # heap profiles. Inspect with e.g.
 #   go tool pprof -top   $(PROFILE_OUT)/cpu.pprof
 #   go tool pprof -top -sample_index=alloc_objects $(PROFILE_OUT)/heap.pprof
+# Daemon smoke: build hspd, drive it with the synthetic-traffic harness
+# for a few seconds, and fail on zero successful answers, any outright
+# failure, or any paper-guarantee claim violation in the responses
+# (hspd -loadtest exits nonzero on all three). The latency summary lands
+# in $(SMOKE_OUT) for the CI artifact upload.
+SMOKE_OUT ?= out/hspd
+SMOKE_DURATION ?= 3s
+
+hspd-smoke:
+	@mkdir -p $(SMOKE_OUT)
+	$(GO) build -o $(SMOKE_OUT)/hspd ./cmd/hspd
+	$(SMOKE_OUT)/hspd -loadtest -duration $(SMOKE_DURATION) -concurrency 8 \
+		-summary $(SMOKE_OUT)/latency.json
+
 PROFILE_OUT ?= out/profile
 
 profile:
@@ -106,4 +121,4 @@ profile:
 		> $(PROFILE_OUT)/run.jsonl
 	@echo "profiles written: $(PROFILE_OUT)/cpu.pprof $(PROFILE_OUT)/heap.pprof"
 
-ci: build vet fmt-check lint-docs race bench-alloc bench-quick bench-packs
+ci: build vet fmt-check lint-docs race bench-alloc bench-quick bench-packs hspd-smoke

@@ -1,5 +1,7 @@
 // Command hsched solves a hierarchical scheduling instance (JSON from hgen
 // or handwritten) and prints the assignment, schedule and quality bounds.
+// It is a thin CLI over internal/serve — the same dispatcher cmd/hspd
+// serves over HTTP — so the two front ends cannot drift.
 //
 // Usage:
 //
@@ -11,12 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"hsp"
+	"hsp/internal/serve"
 )
 
 func main() {
@@ -56,57 +60,29 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "instance: %d jobs, %d machines, %d admissible sets, %d levels\n",
 		in.N(), in.M(), in.Family.Len(), in.Family.Levels())
 
-	switch *algo {
-	case "lp":
-		lb, err := hsp.LowerBoundLP(in)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "LP lower bound T* = %d (OPT ≥ T*)\n", lb)
+	out, err := serve.Run(context.Background(), in, &serve.Request{Algo: *algo}, nil)
+	if err != nil {
+		return err
+	}
+
+	switch out.Algo {
+	case serve.AlgoLP:
+		fmt.Fprintf(stdout, "LP lower bound T* = %d (OPT ≥ T*)\n", out.LPBound)
 		return nil
 
-	case "exact":
-		a, opt, err := hsp.SolveExact(in, 0)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "optimal makespan = %d\n", opt)
-		printAssignment(stdout, in, a)
-		s, err := hsp.BuildSchedule(in, a, opt)
-		if err != nil {
-			return fmt.Errorf("scheduling: %w", err)
-		}
-		if err := hsp.ValidateSchedule(in, a, s); err != nil {
-			return fmt.Errorf("schedule failed validation: %w", err)
-		}
-		report(stdout, s, *gantt, *stats)
-		if err := writeSVG(*svgOut, s); err != nil {
-			return err
-		}
-		return writeJSON(*jsonOut, stdout, s)
+	case serve.AlgoExact:
+		fmt.Fprintf(stdout, "optimal makespan = %d\n", out.Makespan)
 
-	case "2approx", "best":
-		solve := hsp.Solve
-		if *algo == "best" {
-			solve = hsp.SolveBest
-		}
-		res, err := solve(in)
-		if err != nil {
-			return err
-		}
+	case serve.Algo2Approx, serve.AlgoBest:
 		fmt.Fprintf(stdout, "makespan = %d  (LP bound T* = %d; guarantee ≤ 2·T* = %d)\n",
-			res.Makespan, res.LPBound, 2*res.LPBound)
-		printAssignment(stdout, res.Instance, res.Assignment)
-		if err := hsp.ValidateSchedule(res.Instance, res.Assignment, res.Schedule); err != nil {
-			return fmt.Errorf("schedule failed validation: %w", err)
-		}
-		report(stdout, res.Schedule, *gantt, *stats)
-		if err := writeSVG(*svgOut, res.Schedule); err != nil {
-			return err
-		}
-		return writeJSON(*jsonOut, stdout, res.Schedule)
+			out.Makespan, out.LPBound, 2*out.LPBound)
 	}
-	return fmt.Errorf("unknown -algo %q", *algo)
+	printAssignment(stdout, out.Instance, out.Assignment)
+	report(stdout, out.Schedule, *gantt, *stats)
+	if err := writeSVG(*svgOut, out.Schedule); err != nil {
+		return err
+	}
+	return writeJSON(*jsonOut, stdout, out.Schedule)
 }
 
 // writeSVG renders the schedule to the named file ("" = skip).

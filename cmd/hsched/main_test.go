@@ -97,6 +97,48 @@ func TestRunSVGOutput(t *testing.T) {
 	}
 }
 
+// TestGoldenOutputs pins the exact bytes of every algorithm's report on
+// two fixed instances (Example II.1 and a clustered 12-job workload).
+// The goldens were captured before hsched was re-expressed over
+// internal/serve, so this test is the byte-identity guarantee of that
+// refactor: any drift in the text format or in deterministic solver
+// results fails here.
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		instance, golden string
+		args             []string
+	}{
+		{"ex_ii1.json", "golden_ex_lp.txt", []string{"-algo", "lp", "-gantt"}},
+		{"ex_ii1.json", "golden_ex_2approx.txt", []string{"-algo", "2approx", "-gantt"}},
+		{"ex_ii1.json", "golden_ex_best.txt", []string{"-algo", "best", "-gantt"}},
+		{"ex_ii1.json", "golden_ex_exact.txt", []string{"-algo", "exact", "-gantt"}},
+		{"clustered12.json", "golden_cl_lp.txt", []string{"-algo", "lp"}},
+		{"clustered12.json", "golden_cl_2approx.txt", []string{"-algo", "2approx"}},
+		{"clustered12.json", "golden_cl_best.txt", []string{"-algo", "best"}},
+		{"clustered12.json", "golden_cl_exact.txt", []string{"-algo", "exact"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			inst, err := os.ReadFile("testdata/" + tc.instance)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile("testdata/" + tc.golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			if err := run(tc.args, bytes.NewReader(inst), &out); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					tc.golden, out.Bytes(), want)
+			}
+		})
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, strings.NewReader("garbage"), &out); err == nil {

@@ -1,0 +1,389 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsp"
+	"hsp/internal/serve"
+)
+
+// loadConfig parameterizes the synthetic-traffic harness.
+type loadConfig struct {
+	cfg         serve.Config
+	duration    time.Duration
+	concurrency int
+	seed        int64
+	url         string // empty = spin an in-process daemon
+	summaryPath string
+	benchOut    string
+}
+
+// loadSummary is the harness's machine-readable result: one JSON
+// document for -summary, one JSONL record for the -bench-out trajectory
+// (same append-only convention as BENCH_hbench.json).
+type loadSummary struct {
+	Schema        int     `json:"schema"`
+	Time          string  `json:"time"` // RFC 3339 with nanoseconds, UTC
+	Kind          string  `json:"kind"` // "hspd-loadtest"
+	GoVersion     string  `json:"go"`
+	Seed          int64   `json:"seed"`
+	Concurrency   int     `json:"concurrency"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	DurationMS    float64 `json:"duration_ms"`
+	Requests      uint64  `json:"requests"`
+	OK            uint64  `json:"ok"`
+	Shed          uint64  `json:"shed"`   // deterministic 429s
+	Failed        uint64  `json:"failed"` // transport or non-200/429 answers
+	ClaimFailures uint64  `json:"claim_failures"`
+	QPS           float64 `json:"qps"` // OK answers per second, sustained
+	P50MS         float64 `json:"p50_ms"`
+	P90MS         float64 `json:"p90_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MaxMS         float64 `json:"max_ms"`
+}
+
+// probe is one pre-encoded request template plus its response check: the
+// paper's guarantees double as load-test correctness claims.
+type probe struct {
+	name  string
+	path  string // /v1/solve or /v1/batch
+	body  []byte
+	check func(body []byte) error
+}
+
+// buildProbes pre-generates deterministic instances (in cfg.seed) and
+// encodes the traffic mix once: certified 2-approximations, LP bounds,
+// small exact solves, a schedulability query, and a batch of small LP
+// probes for the batching path.
+func buildProbes(seed int64) ([]probe, error) {
+	semi, err := hsp.GenerateWorkload(hsp.WorkloadConfig{
+		Topology: hsp.TopoSemiPartitioned, Machines: 4, Jobs: 10,
+		Seed: seed, MinWork: 3, MaxWork: 20, OverheadPerLevel: 0.25,
+	})
+	if err != nil {
+		return nil, err
+	}
+	clus, err := hsp.GenerateWorkload(hsp.WorkloadConfig{
+		Topology: hsp.TopoClustered, Clusters: 2, ClusterSize: 3, Jobs: 12,
+		Seed: seed + 1, MinWork: 3, MaxWork: 20, OverheadPerLevel: 0.3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	small, err := hsp.GenerateWorkload(hsp.WorkloadConfig{
+		Topology: hsp.TopoSemiPartitioned, Machines: 3, Jobs: 8,
+		Seed: seed + 2, MinWork: 2, MaxWork: 12,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A frame the constructive 2-approximation provably fits, so the rt
+	// probe must answer "schedulable".
+	frameRes, err := hsp.Solve(semi)
+	if err != nil {
+		return nil, err
+	}
+
+	enc := func(in *hsp.Instance) (json.RawMessage, error) {
+		var buf bytes.Buffer
+		if err := hsp.EncodeInstance(&buf, in); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	semiJSON, err := enc(semi)
+	if err != nil {
+		return nil, err
+	}
+	clusJSON, err := enc(clus)
+	if err != nil {
+		return nil, err
+	}
+	smallJSON, err := enc(small)
+	if err != nil {
+		return nil, err
+	}
+
+	mustBody := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	decode := func(body []byte) (*serve.Response, error) {
+		var resp serve.Response
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return nil, fmt.Errorf("undecodable response: %w", err)
+		}
+		if resp.Error != "" {
+			return nil, fmt.Errorf("response error: %s", resp.Error)
+		}
+		return &resp, nil
+	}
+	checkTwoApprox := func(body []byte) error {
+		resp, err := decode(body)
+		if err != nil {
+			return err
+		}
+		if resp.Makespan <= 0 || resp.LPBound <= 0 || resp.Makespan > 2*resp.LPBound {
+			return fmt.Errorf("2-approx guarantee violated: makespan=%d T*=%d", resp.Makespan, resp.LPBound)
+		}
+		return nil
+	}
+
+	return []probe{
+		{
+			name: "2approx/semi", path: "/v1/solve",
+			body:  mustBody(&serve.Request{Algo: serve.Algo2Approx, Instance: semiJSON}),
+			check: checkTwoApprox,
+		},
+		{
+			name: "best/clustered", path: "/v1/solve",
+			body:  mustBody(&serve.Request{Algo: serve.AlgoBest, Instance: clusJSON}),
+			check: checkTwoApprox,
+		},
+		{
+			name: "lp/clustered", path: "/v1/solve",
+			body: mustBody(&serve.Request{Algo: serve.AlgoLP, Instance: clusJSON}),
+			check: func(body []byte) error {
+				resp, err := decode(body)
+				if err != nil {
+					return err
+				}
+				if resp.LPBound < 1 {
+					return fmt.Errorf("LP bound %d < 1", resp.LPBound)
+				}
+				return nil
+			},
+		},
+		{
+			name: "exact/small", path: "/v1/solve",
+			body: mustBody(&serve.Request{Algo: serve.AlgoExact, Instance: smallJSON}),
+			check: func(body []byte) error {
+				resp, err := decode(body)
+				if err != nil {
+					return err
+				}
+				if !resp.Optimal || resp.Makespan <= 0 {
+					return fmt.Errorf("exact answer not optimal: %+v", resp)
+				}
+				return nil
+			},
+		},
+		{
+			name: "rt/semi", path: "/v1/solve",
+			body: mustBody(&serve.Request{Algo: serve.AlgoRT, Instance: semiJSON, Frame: frameRes.Makespan}),
+			check: func(body []byte) error {
+				resp, err := decode(body)
+				if err != nil {
+					return err
+				}
+				if resp.Verdict != "schedulable" {
+					return fmt.Errorf("rt verdict %q, want schedulable", resp.Verdict)
+				}
+				return nil
+			},
+		},
+		{
+			name: "batch/lp", path: "/v1/batch",
+			body: mustBody([]*serve.Request{
+				{Algo: serve.AlgoLP, Instance: semiJSON},
+				{Algo: serve.AlgoLP, Instance: smallJSON},
+				{Algo: serve.AlgoLP, Instance: clusJSON},
+			}),
+			check: func(body []byte) error {
+				var resps []serve.Response
+				if err := json.Unmarshal(body, &resps); err != nil {
+					return fmt.Errorf("undecodable batch response: %w", err)
+				}
+				if len(resps) != 3 {
+					return fmt.Errorf("batch answered %d of 3", len(resps))
+				}
+				for i, r := range resps {
+					if r.Error != "" || r.LPBound < 1 {
+						return fmt.Errorf("batch item %d: error=%q T*=%d", i, r.Error, r.LPBound)
+					}
+				}
+				return nil
+			},
+		},
+	}, nil
+}
+
+// runLoadtest drives synthetic traffic against a daemon (in-process by
+// default) and reports sustained QPS plus p50/p90/p99 latency. It exits
+// nonzero — the smoke gate — when no request succeeded, any failed
+// outright, or any response violated its paper-guarantee claim.
+func runLoadtest(lc loadConfig, stdout, stderr io.Writer) error {
+	probes, err := buildProbes(lc.seed)
+	if err != nil {
+		return fmt.Errorf("loadtest: building probes: %w", err)
+	}
+
+	base := lc.url
+	target := "daemon at " + base
+	resolved := lc.cfg
+	if base == "" {
+		srv := serve.New(lc.cfg)
+		resolved = srv.Config()
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		target = fmt.Sprintf("in-process daemon (workers=%d queue=%d)",
+			srv.Config().Workers, srv.Config().QueueDepth)
+	}
+
+	var (
+		requests, ok, shed, failed, claims atomic.Uint64
+		mu                                 sync.Mutex
+		latencies                          []float64 // ms, successful answers only
+		failLogOnce                        sync.Once
+	)
+	client := &http.Client{}
+	deadline := time.Now().Add(lc.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < lc.concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; time.Now().Before(deadline); k++ {
+				p := probes[(c+k)%len(probes)]
+				requests.Add(1)
+				t0 := time.Now()
+				resp, err := client.Post(base+p.path, "application/json", bytes.NewReader(p.body))
+				if err != nil {
+					failed.Add(1)
+					failLogOnce.Do(func() { fmt.Fprintf(stderr, "loadtest: transport error: %v\n", err) })
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				elapsed := time.Since(t0)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if err := p.check(body); err != nil {
+						claims.Add(1)
+						failLogOnce.Do(func() { fmt.Fprintf(stderr, "loadtest: %s claim failed: %v\n", p.name, err) })
+						continue
+					}
+					ok.Add(1)
+					mu.Lock()
+					latencies = append(latencies, float64(elapsed.Microseconds())/1000)
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					// Deterministic shedding is the design working, not a
+					// failure; back off briefly so overload runs still
+					// make progress.
+					shed.Add(1)
+					time.Sleep(2 * time.Millisecond)
+				default:
+					failed.Add(1)
+					failLogOnce.Do(func() {
+						fmt.Fprintf(stderr, "loadtest: %s answered %d: %s\n", p.name, resp.StatusCode, body)
+					})
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	sum := loadSummary{
+		Schema:        1,
+		Time:          time.Now().UTC().Format(time.RFC3339Nano),
+		Kind:          "hspd-loadtest",
+		GoVersion:     runtime.Version(),
+		Seed:          lc.seed,
+		Concurrency:   lc.concurrency,
+		Workers:       resolved.Workers,
+		QueueDepth:    resolved.QueueDepth,
+		DurationMS:    float64(elapsed.Microseconds()) / 1000,
+		Requests:      requests.Load(),
+		OK:            ok.Load(),
+		Shed:          shed.Load(),
+		Failed:        failed.Load(),
+		ClaimFailures: claims.Load(),
+		QPS:           float64(ok.Load()) / elapsed.Seconds(),
+		P50MS:         pct(0.50),
+		P90MS:         pct(0.90),
+		P99MS:         pct(0.99),
+	}
+	if n := len(latencies); n > 0 {
+		sum.MaxMS = latencies[n-1]
+	}
+
+	fmt.Fprintf(stdout, "hspd loadtest: %s, %d clients against %s\n", lc.duration, lc.concurrency, target)
+	fmt.Fprintf(stdout, "requests=%d ok=%d shed=%d failed=%d claim-failures=%d\n",
+		sum.Requests, sum.OK, sum.Shed, sum.Failed, sum.ClaimFailures)
+	fmt.Fprintf(stdout, "sustained QPS = %.1f\n", sum.QPS)
+	fmt.Fprintf(stdout, "latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+		sum.P50MS, sum.P90MS, sum.P99MS, sum.MaxMS)
+
+	if lc.summaryPath != "" {
+		b, err := json.MarshalIndent(&sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(lc.summaryPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if lc.benchOut != "" {
+		if err := appendSummary(lc.benchOut, &sum); err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case sum.OK == 0:
+		return fmt.Errorf("loadtest: no request succeeded")
+	case sum.Failed > 0:
+		return fmt.Errorf("loadtest: %d requests failed", sum.Failed)
+	case sum.ClaimFailures > 0:
+		return fmt.Errorf("loadtest: %d responses violated their claims", sum.ClaimFailures)
+	}
+	return nil
+}
+
+// appendSummary appends one JSONL record to the trajectory file.
+func appendSummary(path string, sum *loadSummary) error {
+	b, err := json.Marshal(sum)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(b, '\n'))
+	return err
+}

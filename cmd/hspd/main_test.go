@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadtestSmoke runs the in-process harness briefly and checks the
+// full contract `make hspd-smoke` relies on: exit zero, nonzero QPS, no
+// failures, no claim violations, and a parseable summary plus trajectory
+// record.
+func TestLoadtestSmoke(t *testing.T) {
+	dir := t.TempDir()
+	summary := filepath.Join(dir, "summary.json")
+	bench := filepath.Join(dir, "trajectory.jsonl")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-loadtest", "-duration", "300ms", "-concurrency", "2",
+		"-workers", "2", "-summary", summary, "-bench-out", bench,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("loadtest failed: %v\nstdout:\n%s\nstderr:\n%s", err, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "sustained QPS") {
+		t.Fatalf("missing QPS line:\n%s", &stdout)
+	}
+
+	var sum loadSummary
+	b, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.OK == 0 || sum.QPS <= 0 {
+		t.Fatalf("no successful traffic: %+v", sum)
+	}
+	if sum.Failed != 0 || sum.ClaimFailures != 0 {
+		t.Fatalf("failures in smoke traffic: %+v", sum)
+	}
+	if sum.P50MS <= 0 || sum.P99MS < sum.P50MS {
+		t.Fatalf("implausible latency summary: %+v", sum)
+	}
+
+	// The trajectory record is one JSONL line with the same schema.
+	line, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec loadSummary
+	if err := json.Unmarshal(bytes.TrimSpace(line), &rec); err != nil {
+		t.Fatalf("trajectory record: %v\n%s", err, line)
+	}
+	if rec.Kind != "hspd-loadtest" {
+		t.Fatalf("trajectory kind %q", rec.Kind)
+	}
+}
+
+// TestProbesAreDeterministic: the same seed builds the same traffic —
+// the property that makes loadtest runs comparable across commits.
+func TestProbesAreDeterministic(t *testing.T) {
+	a, err := buildProbes(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildProbes(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("probe counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].name != b[i].name || a[i].path != b[i].path || !bytes.Equal(a[i].body, b[i].body) {
+			t.Fatalf("probe %d (%s) differs across builds with the same seed", i, a[i].name)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-loadtest", "-duration", "wat"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}
+
+// TestLoadtestOverloadAccounting runs the harness with shedding-prone
+// sizing (one worker, one queue slot, eight clients) and checks the
+// overload accounting stays consistent: every request is exactly one of
+// ok, shed, failed, or claim-failed, and shed traffic never fails the
+// run.
+func TestLoadtestOverloadAccounting(t *testing.T) {
+	dir := t.TempDir()
+	summary := filepath.Join(dir, "summary.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-loadtest", "-duration", "300ms", "-concurrency", "8",
+		"-workers", "1", "-queue", "1", "-summary", summary,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("loadtest failed: %v\nstderr:\n%s", err, &stderr)
+	}
+	b, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum loadSummary
+	if err := json.Unmarshal(b, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requests != sum.OK+sum.Shed+sum.Failed+sum.ClaimFailures {
+		t.Fatalf("request accounting does not add up: %+v", sum)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, sum.Time); err != nil {
+		t.Fatalf("summary timestamp %q: %v", sum.Time, err)
+	}
+}

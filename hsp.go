@@ -25,14 +25,22 @@
 //   - SolveMemory1 and SolveMemory2 handle the memory-constrained
 //     extensions of Section VI with the paper's bicriteria guarantees.
 //
+// The solver entry points come in two spellings: a context-first form —
+// SolveCtx, SolveExactCtx, SolveMemory1Ctx, SolveMemory2Ctx — whose
+// context cancels in-flight work cooperatively (between simplex pivots
+// and every few thousand branch-and-bound nodes; the returned error wraps
+// ctx.Err()), and the plain forms above, which are exactly the Ctx forms
+// with context.Background(). Services and anything with deadlines should
+// call the Ctx forms; the plain forms are one-shot shorthand.
+//
 // All times are integers; schedules validate exactly.
 package hsp
 
 import (
+	"context"
 	"io"
 
 	"hsp/internal/approx"
-	"hsp/internal/baselines"
 	"hsp/internal/exact"
 	"hsp/internal/hier"
 	"hsp/internal/laminar"
@@ -148,28 +156,23 @@ func DecodeSchedule(r io.Reader) (*Schedule, error) { return sched.DecodeJSON(r)
 // LP lower bound T* certifying Makespan ≤ 2·T* ≤ 2·OPT.
 func Solve(in *Instance) (*Result, error) { return approx.TwoApprox(in) }
 
+// SolveCtx is Solve under a context: the LP binary search and the vertex
+// LP abort between simplex pivots once ctx is done (the error wraps
+// ctx.Err()). Solve is SolveCtx with context.Background().
+func SolveCtx(ctx context.Context, in *Instance) (*Result, error) {
+	return approx.TwoApproxCtx(ctx, in)
+}
+
 // SolveBest runs the 2-approximation and the greedy+local-search heuristic
 // and returns whichever schedule is shorter, keeping the LP bound as the
 // quality certificate (Makespan ≤ 2·T* still holds — the heuristic can
 // only improve on the certified solution). This is the recommended
 // production entry point; plain Solve is the paper's algorithm verbatim.
-func SolveBest(in *Instance) (*Result, error) {
-	res, err := approx.TwoApprox(in)
-	if err != nil {
-		return nil, err
-	}
-	heur, err := baselines.GreedyWithLocalSearch(res.Instance)
-	if err != nil || heur.Makespan >= res.Makespan {
-		return res, nil
-	}
-	s, err := hier.Schedule(res.Instance, heur.Assignment, heur.Makespan)
-	if err != nil {
-		return res, nil
-	}
-	res.Assignment = heur.Assignment
-	res.Makespan = heur.Makespan
-	res.Schedule = s
-	return res, nil
+func SolveBest(in *Instance) (*Result, error) { return approx.Best(in) }
+
+// SolveBestCtx is SolveBest under a context (see SolveCtx).
+func SolveBestCtx(ctx context.Context, in *Instance) (*Result, error) {
+	return approx.BestWS(ctx, in, nil)
 }
 
 // SolveGeneral runs the Section II 8-approximation for non-laminar
@@ -181,6 +184,14 @@ func SolveGeneral(g *GeneralInstance) (*GeneralResult, error) { return approx.Ei
 // caps the search (0 = default).
 func SolveExact(in *Instance, maxNodes int) (Assignment, int64, error) {
 	return exact.Solve(in, exact.Options{MaxNodes: maxNodes})
+}
+
+// SolveExactCtx is SolveExact under a context: the LP seeding, the binary
+// search and the branch-and-bound all poll ctx, so a canceled caller
+// abandons the search within a few thousand DFS nodes (the error wraps
+// ctx.Err()). SolveExact is SolveExactCtx with context.Background().
+func SolveExactCtx(ctx context.Context, in *Instance, maxNodes int) (Assignment, int64, error) {
+	return exact.SolveCtx(ctx, in, exact.Options{MaxNodes: maxNodes})
 }
 
 // LowerBoundLP returns the minimal integer T with a feasible fractional
@@ -213,9 +224,21 @@ func ValidateSchedule(in *Instance, a Assignment, s *Schedule) error {
 // VI.1 bicriteria target (makespan ≤ 3T, memory ≤ 3B_i).
 func SolveMemory1(m1 *Memory1) (*MemoryResult, error) { return memcap.SolveModel1(m1) }
 
+// SolveMemory1Ctx is SolveMemory1 under a context: the binary search and
+// every iterative-rounding LP poll ctx between simplex pivots.
+// SolveMemory1 is SolveMemory1Ctx with context.Background().
+func SolveMemory1Ctx(ctx context.Context, m1 *Memory1) (*MemoryResult, error) {
+	return memcap.SolveModel1Ctx(ctx, m1)
+}
+
 // SolveMemory2 solves the per-level-capacity extension with the Theorem
 // VI.3 target (σ = 2 + H_k on both criteria).
 func SolveMemory2(m2 *Memory2) (*MemoryResult, error) { return memcap.SolveModel2(m2) }
+
+// SolveMemory2Ctx is SolveMemory2 under a context (see SolveMemory1Ctx).
+func SolveMemory2Ctx(ctx context.Context, m2 *Memory2) (*MemoryResult, error) {
+	return memcap.SolveModel2Ctx(ctx, m2)
+}
 
 // Real-time layer: frame-based periodic schedulability (see internal/rt).
 type (

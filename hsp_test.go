@@ -2,6 +2,8 @@ package hsp_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 
 	"hsp"
@@ -196,5 +198,88 @@ func TestFamilyConstructors(t *testing.T) {
 	}
 	if _, err := hsp.NewFamily(3, [][]int{{0, 1}, {1, 2}}); err == nil {
 		t.Fatal("non-laminar family accepted")
+	}
+}
+
+// TestCtxEntryPoints: every context-first spelling agrees with its plain
+// form under context.Background() and aborts under a canceled context —
+// the public half of the daemon's cancellation contract.
+func TestCtxEntryPoints(t *testing.T) {
+	in := hsp.ExampleII1()
+
+	res, err := hsp.SolveCtx(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := hsp.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != plain.Makespan || res.LPBound != plain.LPBound {
+		t.Fatalf("SolveCtx(Background) diverged from Solve: %d/%d vs %d/%d",
+			res.Makespan, res.LPBound, plain.Makespan, plain.LPBound)
+	}
+	if res, err := hsp.SolveBestCtx(context.Background(), in); err != nil || res.Makespan > plain.Makespan {
+		t.Fatalf("SolveBestCtx: makespan=%d err=%v (Solve gave %d)", res.Makespan, err, plain.Makespan)
+	}
+	if _, opt, err := hsp.SolveExactCtx(context.Background(), in, 0); err != nil || opt != 2 {
+		t.Fatalf("SolveExactCtx: opt=%d err=%v, want 2/nil", opt, err)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := hsp.SolveCtx(canceled, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveCtx under canceled ctx: %v", err)
+	}
+	if _, err := hsp.SolveBestCtx(canceled, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveBestCtx under canceled ctx: %v", err)
+	}
+	if _, _, err := hsp.SolveExactCtx(canceled, in, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveExactCtx under canceled ctx: %v", err)
+	}
+}
+
+// TestMemoryCtxEntryPoints covers the Section VI context-first forms the
+// same way.
+func TestMemoryCtxEntryPoints(t *testing.T) {
+	in, err := hsp.GenerateWorkload(hsp.WorkloadConfig{
+		Topology: hsp.TopoSemiPartitioned, Machines: 4,
+		Jobs: 10, Seed: 5, MinWork: 3, MaxWork: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := hsp.AttachMemory1(in, hsp.MemoryConfig{MinSize: 1, MaxSize: 6, BudgetSlack: 1.5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1, err := hsp.SolveMemory1Ctx(context.Background(), m1); err != nil || r1.Makespan <= 0 {
+		t.Fatalf("SolveMemory1Ctx: %+v err=%v", r1, err)
+	}
+
+	f, _ := hsp.Hierarchy(2, 2)
+	in2 := hsp.NewInstance(f)
+	for j := 0; j < 6; j++ {
+		proc := make([]int64, f.Len())
+		for s := range proc {
+			proc[s] = int64(5 + f.Levels() - f.Level(s))
+		}
+		in2.AddJob(proc)
+	}
+	m2, err := hsp.AttachMemory2(in2, hsp.MemoryConfig{Mu: 2.5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2, err := hsp.SolveMemory2Ctx(context.Background(), m2); err != nil || r2.Makespan <= 0 {
+		t.Fatalf("SolveMemory2Ctx: %+v err=%v", r2, err)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := hsp.SolveMemory1Ctx(canceled, m1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveMemory1Ctx under canceled ctx: %v", err)
+	}
+	if _, err := hsp.SolveMemory2Ctx(canceled, m2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveMemory2Ctx under canceled ctx: %v", err)
 	}
 }

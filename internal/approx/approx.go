@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 
+	"hsp/internal/baselines"
 	"hsp/internal/hier"
 	"hsp/internal/model"
 	"hsp/internal/relax"
@@ -45,19 +46,26 @@ func TwoApprox(in *model.Instance) (*Result, error) {
 	return TwoApproxCtx(context.Background(), in)
 }
 
-// TwoApproxCtx is TwoApprox under a context: the dominant stages — the
-// binary search over LP relaxations and the unrelated-machines vertex LP —
-// poll ctx between simplex pivots and abort with an error wrapping
-// ctx.Err() once it is done.
+// TwoApproxCtx is TwoApproxWS with a private workspace — compat wrapper.
 func TwoApproxCtx(ctx context.Context, in *model.Instance) (*Result, error) {
+	return TwoApproxWS(ctx, in, nil)
+}
+
+// TwoApproxWS is the canonical spelling of the Theorem V.2 pipeline: the
+// dominant stages — the binary search over LP relaxations and the
+// unrelated-machines vertex LP — poll ctx between simplex pivots and
+// abort with an error wrapping ctx.Err() once it is done, and the whole
+// pipeline runs on the caller-held relaxation workspace (nil allocates a
+// private one): the binary search reuses it probe to probe, and the
+// unrelated vertex LP reuses its simplex tableau.
+func TwoApproxWS(ctx context.Context, in *model.Instance, ws *relax.Workspace) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("approx: %w", err)
 	}
 	ins := in.WithSingletons()
-	// One relaxation workspace for the whole pipeline: the binary search
-	// reuses it probe to probe, and the unrelated vertex LP below reuses
-	// its simplex tableau.
-	ws := relax.NewWorkspace()
+	if ws == nil {
+		ws = relax.NewWorkspace()
+	}
 	tStar, frac, err := relax.MinFeasibleTWS(ctx, ins, ws)
 	if err != nil {
 		return nil, fmt.Errorf("approx: %w", err)
@@ -106,6 +114,37 @@ func TwoApproxCtx(ctx context.Context, in *model.Instance) (*Result, error) {
 	}, nil
 }
 
+// Best runs the 2-approximation and the greedy+local-search heuristic and
+// returns whichever schedule is shorter, keeping the LP bound as the
+// quality certificate (Makespan ≤ 2·T* still holds — the heuristic can
+// only improve on the certified solution).
+func Best(in *model.Instance) (*Result, error) {
+	return BestWS(context.Background(), in, nil)
+}
+
+// BestWS is the canonical spelling of Best: ctx aborts the certified
+// pipeline mid-pivot (the heuristic improvement runs uninterrupted — it
+// is polynomial and cheap), and the caller-held relaxation workspace is
+// threaded through the 2-approximation (nil allocates a private one).
+func BestWS(ctx context.Context, in *model.Instance, ws *relax.Workspace) (*Result, error) {
+	res, err := TwoApproxWS(ctx, in, ws)
+	if err != nil {
+		return nil, err
+	}
+	heur, err := baselines.GreedyWithLocalSearch(res.Instance)
+	if err != nil || heur.Makespan >= res.Makespan {
+		return res, nil
+	}
+	s, err := hier.Schedule(res.Instance, heur.Assignment, heur.Makespan)
+	if err != nil {
+		return res, nil
+	}
+	res.Assignment = heur.Assignment
+	res.Makespan = heur.Makespan
+	res.Schedule = s
+	return res, nil
+}
+
 // singletonProjection builds the unrelated instance I_u with
 // p'_ij = P_j({i}); the instance must contain all singletons.
 func singletonProjection(in *model.Instance) *unrelated.Instance {
@@ -137,11 +176,18 @@ type GeneralResult struct {
 // preemptive optima differ by at most a factor 4 [Lin–Vitter], giving a
 // factor 8 overall.
 func EightApprox(g *model.GeneralInstance) (*GeneralResult, error) {
+	return EightApproxCtx(context.Background(), g)
+}
+
+// EightApproxCtx is EightApprox under a context: the LST binary search
+// polls ctx between simplex pivots and aborts with an error wrapping
+// ctx.Err() once it is done.
+func EightApproxCtx(ctx context.Context, g *model.GeneralInstance) (*GeneralResult, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("approx: %w", err)
 	}
 	u := unrelated.FromProjection(g.UnrelatedProjection())
-	assign, lpT, err := unrelated.LST(u)
+	assign, lpT, err := unrelated.LSTWS(ctx, u, nil)
 	if err != nil {
 		return nil, fmt.Errorf("approx: %w", err)
 	}

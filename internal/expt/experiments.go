@@ -124,7 +124,7 @@ func (s Suite) E1(ctx context.Context) *Table {
 	t.AddRow("OPT(I_u) unrelated", optU, 3)
 	t.CheckEq("OPT(I_u) unrelated", optU, 3)
 
-	tStar, _, err := relax.MinFeasibleTCtx(ctx, in)
+	tStar, _, err := relax.MinFeasibleTWS(ctx, in, nil)
 	if err == nil {
 		t.AddRow("LP bound T*", tStar, 2)
 		t.CheckEq("LP bound T*", tStar, 2)
@@ -285,6 +285,9 @@ func (s Suite) E4(ctx context.Context) *Table {
 func (s Suite) E5(ctx context.Context) *Table {
 	t := newTable("E5", "topology", "trials", "feasible after", "singleton-only")
 	rng := rand.New(rand.NewSource(s.Seed + 3))
+	// One relaxation workspace across every trial's binary search (the
+	// canonical MinFeasibleTWS spelling): probes rebuild into one arena.
+	rws := relax.NewWorkspace()
 	for _, topo := range []workload.Topology{workload.SemiPartitioned, workload.Clustered, workload.SMPCMP} {
 		trials := s.trials(25)
 		okFeas, okSing := 0, 0
@@ -294,7 +297,7 @@ func (s Suite) E5(ctx context.Context) *Table {
 			}
 			in := generated(rng, topo, 0.4, 0)
 			ins := in.WithSingletons()
-			T, fr, err := relax.MinFeasibleTCtx(ctx, ins)
+			T, fr, err := relax.MinFeasibleTWS(ctx, ins, rws)
 			if err != nil {
 				continue
 			}

@@ -38,6 +38,9 @@ func (s Suite) E13(ctx context.Context) *Table {
 	t := newTable("E13", "topology", "n", "trials",
 		"2approx", "LPT-part", "greedy", "greedy+LS", "LP wins")
 	rng := rand.New(rand.NewSource(s.Seed + 13))
+	// One relaxation workspace for every trial's LP bound: the canonical
+	// MinFeasibleTWS spelling reuses its tableau trial to trial.
+	rws := relax.NewWorkspace()
 	for _, topo := range []workload.Topology{workload.SemiPartitioned, workload.SMPCMP} {
 		for _, n := range []int{10, 24} {
 			trials := s.trials(15)
@@ -48,7 +51,7 @@ func (s Suite) E13(ctx context.Context) *Table {
 					return t
 				}
 				in := generatedN(rng, topo, n, 0.4, 0.2).WithSingletons()
-				tStar, _, err := relax.MinFeasibleTCtx(ctx, in)
+				tStar, _, err := relax.MinFeasibleTWS(ctx, in, rws)
 				if err != nil {
 					continue
 				}

@@ -166,20 +166,22 @@ func buildFeasibilityWS(in *model.Instance, T int64, ws *Workspace) {
 	}
 }
 
-// Feasible solves the LP relaxation of (IP-3) at T and returns the
-// fractional solution when feasible.
+// Feasible is FeasibleWS with context.Background() and a private
+// workspace — one-shot-caller shorthand.
 func Feasible(in *model.Instance, T int64) (bool, *Fractional, error) {
-	return FeasibleCtx(context.Background(), in, T)
+	return FeasibleWS(context.Background(), in, T, nil)
 }
 
-// FeasibleCtx is Feasible under a context: the underlying simplex solve
-// aborts between pivots once ctx is done (the error wraps ctx.Err()).
+// FeasibleCtx is FeasibleWS with a private workspace — compat wrapper.
 func FeasibleCtx(ctx context.Context, in *model.Instance, T int64) (bool, *Fractional, error) {
 	return FeasibleWS(ctx, in, T, nil)
 }
 
-// FeasibleWS is FeasibleCtx on a caller-held Workspace (nil allocates a
-// private one).
+// FeasibleWS solves the LP relaxation of (IP-3) at T and returns the
+// fractional solution when feasible. This is the canonical spelling: the
+// underlying simplex solve aborts between pivots once ctx is done (the
+// error wraps ctx.Err()), and the caller-held Workspace is reused across
+// solves (nil allocates a private one).
 func FeasibleWS(ctx context.Context, in *model.Instance, T int64, ws *Workspace) (bool, *Fractional, error) {
 	if ws == nil {
 		ws = NewWorkspace()
@@ -213,24 +215,28 @@ func feasibleWS(ctx context.Context, in *model.Instance, T int64, ws *Workspace)
 	return ok, x, nil
 }
 
-// MinFeasibleT binary-searches the minimal integer T for which the LP
-// relaxation of (IP-3) is feasible. T* is a lower bound on the optimal
-// integral makespan. The returned Fractional is a feasible solution at T*.
+// MinFeasibleT is MinFeasibleTWS with context.Background() and a private
+// workspace — one-shot-caller shorthand.
 func MinFeasibleT(in *model.Instance) (int64, *Fractional, error) {
-	return MinFeasibleTCtx(context.Background(), in)
+	return MinFeasibleTWS(context.Background(), in, nil)
 }
 
-// MinFeasibleTCtx is MinFeasibleT under a context: the binary search
-// checks ctx before every LP probe and each probe itself aborts between
-// simplex pivots, so cancellation latency is one pivot, not one search.
+// MinFeasibleTCtx is MinFeasibleTWS with a private workspace — compat
+// wrapper.
 func MinFeasibleTCtx(ctx context.Context, in *model.Instance) (int64, *Fractional, error) {
 	return MinFeasibleTWS(ctx, in, nil)
 }
 
-// MinFeasibleTWS is MinFeasibleTCtx on a caller-held Workspace (nil
-// allocates one for the whole search): every probe reuses one tableau and
-// one constraint arena, so the search's steady-state allocations are the
-// per-solve Solution plus the final Fractional.
+// MinFeasibleTWS binary-searches the minimal integer T for which the LP
+// relaxation of (IP-3) is feasible. T* is a lower bound on the optimal
+// integral makespan; the returned Fractional is a feasible solution at
+// T*. This is the canonical spelling: the binary search checks ctx
+// before every LP probe and each probe itself aborts between simplex
+// pivots, so cancellation latency is one pivot, not one search; the
+// caller-held Workspace (nil allocates one for the whole search) lets
+// every probe reuse one tableau and one constraint arena, so the
+// search's steady-state allocations are the per-solve Solution plus the
+// final Fractional.
 func MinFeasibleTWS(ctx context.Context, in *model.Instance, ws *Workspace) (int64, *Fractional, error) {
 	if ws == nil {
 		ws = NewWorkspace()

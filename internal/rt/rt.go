@@ -90,7 +90,7 @@ func TestCtx(ctx context.Context, in *model.Instance, frame int64, opts Options)
 	}
 	res := &Result{Frame: frame, Instance: in}
 
-	tStar, _, err := relax.MinFeasibleTCtx(ctx, in)
+	tStar, _, err := relax.MinFeasibleTWS(ctx, in, nil)
 	if err != nil {
 		return nil, fmt.Errorf("rt: %w", err)
 	}
@@ -153,7 +153,7 @@ func MinFrameCtx(ctx context.Context, in *model.Instance) (lower, upper int64, e
 	if err := in.Validate(); err != nil {
 		return 0, 0, fmt.Errorf("rt: %w", err)
 	}
-	lower, _, err = relax.MinFeasibleTCtx(ctx, in)
+	lower, _, err = relax.MinFeasibleTWS(ctx, in, nil)
 	if err != nil {
 		return 0, 0, err
 	}

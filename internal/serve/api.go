@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Algorithm names accepted in Request.Algo. They match cmd/hsched's
+// -algo values where both exist.
+const (
+	AlgoLP      = "lp"      // LP lower bound T* only
+	Algo2Approx = "2approx" // Theorem V.2 certified 2-approximation
+	AlgoBest    = "best"    // 2approx + greedy/local-search improvement
+	AlgoExact   = "exact"   // branch-and-bound optimum (small instances)
+	AlgoRT      = "rt"      // frame-based schedulability test
+	AlgoMemory1 = "memory1" // Section VI model 1 (per-machine budgets)
+	AlgoMemory2 = "memory2" // Section VI model 2 (per-level capacities)
+)
+
+// Request is one solver query on the wire.
+type Request struct {
+	// Algo selects the solver; see the Algo* constants.
+	Algo string `json:"algo"`
+	// Instance is the scheduling instance in the same JSON wire format
+	// cmd/hgen emits and cmd/hsched reads.
+	Instance json.RawMessage `json:"instance,omitempty"`
+	// TimeoutMS caps this request's solve time in milliseconds; 0 means
+	// the server's default deadline. The solver aborts cooperatively
+	// (mid-pivot / mid-DFS) when the deadline passes.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxNodes caps the branch-and-bound search for "exact" (0 = solver
+	// default) and, for "rt", enables the exact fallback that can turn an
+	// Unknown verdict into a definitive one.
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// Frame is the frame length for "rt" (required there, ignored
+	// elsewhere).
+	Frame int64 `json:"frame,omitempty"`
+	// WantSchedule asks for the full schedule JSON in the response;
+	// admission-style callers that only need the verdict leave it false
+	// and skip the encoding cost.
+	WantSchedule bool `json:"want_schedule,omitempty"`
+	// Memory carries the Section VI annotations for "memory1"/"memory2".
+	Memory *MemorySpec `json:"memory,omitempty"`
+}
+
+// MemorySpec annotates an instance with Section VI memory data.
+type MemorySpec struct {
+	// Budget and Size are model 1: per-machine budgets B_i and per-job,
+	// per-machine sizes s_ij.
+	Budget []int64   `json:"budget,omitempty"`
+	Size   [][]int64 `json:"size,omitempty"`
+	// JobSize and Mu are model 2: per-job sizes s_j and the level
+	// capacity base µ.
+	JobSize []float64 `json:"job_size,omitempty"`
+	Mu      float64   `json:"mu,omitempty"`
+}
+
+// Response is one solver answer on the wire. Error is set (and the other
+// fields zero) when the request failed; the HTTP layer additionally maps
+// the failure kind to a status code.
+type Response struct {
+	Algo string `json:"algo"`
+	// LPBound is T*, the LP relaxation lower bound (all algos except the
+	// memory models, which report TLP in its place).
+	LPBound int64 `json:"lp_bound,omitempty"`
+	// Makespan is the constructed schedule's makespan (zero for "lp" and
+	// for non-schedulable "rt" outcomes).
+	Makespan int64 `json:"makespan,omitempty"`
+	// Optimal reports that Makespan is the true optimum ("exact").
+	Optimal bool `json:"optimal,omitempty"`
+	// Assignment maps each job to its admissible-set id, valid for the
+	// instance the solver worked on (which "2approx"/"best" extend with
+	// missing singletons; ids of the input instance's sets are unchanged
+	// by that extension).
+	Assignment []int `json:"assignment,omitempty"`
+	// Verdict is "rt" only: schedulable | unschedulable | unknown.
+	Verdict string `json:"verdict,omitempty"`
+	Frame   int64  `json:"frame,omitempty"`
+	// MemFactor/LoadFactor/Fallbacks report the bicriteria quality of the
+	// memory models (Theorems VI.1 and VI.3).
+	MemFactor  float64 `json:"mem_factor,omitempty"`
+	LoadFactor float64 `json:"load_factor,omitempty"`
+	Fallbacks  int     `json:"fallbacks,omitempty"`
+	// Schedule is the schedule JSON (sched wire format), present only
+	// when the request set WantSchedule.
+	Schedule json.RawMessage `json:"schedule,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// errBadRequest marks client mistakes — malformed instance, unknown
+// algorithm, missing required fields — as distinct from solver failures,
+// so the HTTP layer can answer 400 instead of 422.
+type errBadRequest struct{ err error }
+
+func (e errBadRequest) Error() string { return e.err.Error() }
+func (e errBadRequest) Unwrap() error { return e.err }
+
+// badRequestf builds an errBadRequest.
+func badRequestf(format string, args ...any) error {
+	return errBadRequest{fmt.Errorf(format, args...)}
+}
+
+// IsBadRequest reports whether err is a client mistake rather than a
+// solver failure.
+func IsBadRequest(err error) bool {
+	var b errBadRequest
+	return errors.As(err, &b)
+}

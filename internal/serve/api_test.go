@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire-format files")
+
+// fullRequest populates every Request field, so the golden pins the
+// complete wire schema (names, nesting, omitempty choices).
+func fullRequest() *Request {
+	return &Request{
+		Algo:         AlgoMemory1,
+		Instance:     json.RawMessage(`{"m":2,"sets":[[0,1],[0],[1]],"jobs":[{"0":1}]}`),
+		TimeoutMS:    1500,
+		MaxNodes:     100000,
+		Frame:        12,
+		WantSchedule: true,
+		Memory: &MemorySpec{
+			Budget:  []int64{8, 8},
+			Size:    [][]int64{{1, 2}},
+			JobSize: []float64{0.5},
+			Mu:      2,
+		},
+	}
+}
+
+// fullResponse populates every Response field for the same reason.
+func fullResponse() *Response {
+	return &Response{
+		Algo:       Algo2Approx,
+		LPBound:    7,
+		Makespan:   12,
+		Optimal:    true,
+		Assignment: []int{0, 2, 1},
+		Verdict:    "schedulable",
+		Frame:      12,
+		MemFactor:  1.5,
+		LoadFactor: 2,
+		Fallbacks:  1,
+		Schedule:   json.RawMessage(`{"makespan":12}`),
+		Error:      "example",
+	}
+}
+
+// TestWireFormatGolden pins the JSON wire format of Request and Response:
+// marshaling matches the goldens byte for byte, and unmarshaling the
+// goldens reproduces the original structs. Run with -update to regenerate
+// after a deliberate schema change (and say so in the changelog — clients
+// depend on these names).
+func TestWireFormatGolden(t *testing.T) {
+	check := func(t *testing.T, golden string, v, into any) {
+		t.Helper()
+		got, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, '\n')
+		path := filepath.Join("testdata", golden)
+		if *update {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("wire format drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+		}
+		// Round trip: decoding the golden and re-encoding reproduces it
+		// exactly (embedded RawMessages keep the golden's formatting, so
+		// byte comparison is the faithful equality here).
+		if err := json.Unmarshal(want, into); err != nil {
+			t.Fatal(err)
+		}
+		again, err := json.MarshalIndent(into, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(append(again, '\n')) != string(want) {
+			t.Errorf("round trip through %s lost data:\ngot  %s\nwant %s", golden, again, want)
+		}
+	}
+	t.Run("request", func(t *testing.T) {
+		check(t, "request.golden.json", fullRequest(), &Request{})
+	})
+	t.Run("response", func(t *testing.T) {
+		check(t, "response.golden.json", fullResponse(), &Response{})
+	})
+}

@@ -1,0 +1,37 @@
+// Package serve is the scheduler-as-a-service core: the typed
+// request/response schema, the algorithm dispatcher shared by cmd/hsched
+// (one-shot CLI) and cmd/hspd (long-running daemon), and the bounded
+// worker pool with admission control that turns the solver library into
+// an online schedulability/assignment service.
+//
+// # Request lifecycle
+//
+// An HTTP handler decodes a Request (or a batch of them), derives the
+// per-request context — the client's own context plus the request's
+// deadline — and submits one task to the Server's bounded queue. When the
+// queue is full the request is shed immediately and deterministically:
+// 429 with a Retry-After hint, never an unbounded wait. A worker picks
+// the task up, re-checks the context (a client that disconnected while
+// queued costs no solver work), and runs the dispatcher on its private,
+// request-reusable workspaces: the relaxation workspace (simplex tableau,
+// constraint arenas) and the exact branch-and-bound workspace survive
+// from request to request, so steady-state traffic pays none of the
+// setup cost the one-shot CLIs pay (see PERFORMANCE.md).
+//
+// # Cancellation
+//
+// Every solver stage is context-aware end to end: the simplex polls
+// between pivots, the branch-and-bound every few thousand DFS nodes. A
+// per-request deadline or a dropped client connection therefore aborts
+// in-flight work mid-pivot/mid-DFS; the worker then releases the
+// workspace's references to the dead request's instance and context
+// (exact.Workspace does this itself after every probe) and moves on.
+//
+// # Batching
+//
+// Small probes — schedulability pre-checks, LP bounds — cost less to
+// solve than to queue. A batch submits many requests as ONE task: one
+// queue slot, one worker, one set of warmed workspaces, answers in input
+// order. The per-item deadline still applies per request inside the
+// batch.
+package serve

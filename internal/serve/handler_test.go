@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hsp/internal/model"
+)
+
+// instanceJSON returns Example II.1 in the wire format requests embed.
+func instanceJSON(t *testing.T) json.RawMessage {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := model.Encode(&buf, model.ExampleII1()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// newTestServer starts a Server plus its httptest front end, both torn
+// down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// post sends one JSON body and returns the status and decoded answer.
+func post(t *testing.T, url string, body []byte) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b, resp.Header
+}
+
+func TestHandlerSolveHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	body, _ := json.Marshal(&Request{
+		Algo:         Algo2Approx,
+		Instance:     instanceJSON(t),
+		WantSchedule: true,
+	})
+	status, b, _ := post(t, ts.URL+"/v1/solve", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, b)
+	}
+	var resp Response
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("unexpected error: %s", resp.Error)
+	}
+	if resp.Makespan <= 0 || resp.LPBound <= 0 || resp.Makespan > 2*resp.LPBound {
+		t.Fatalf("2-approx guarantee violated: makespan=%d T*=%d", resp.Makespan, resp.LPBound)
+	}
+	if len(resp.Assignment) == 0 {
+		t.Fatal("no assignment in response")
+	}
+	if len(resp.Schedule) == 0 {
+		t.Fatal("want_schedule set but no schedule in response")
+	}
+}
+
+func TestHandlerRejectsMalformedBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	status, b, _ := post(t, ts.URL+"/v1/solve", []byte("{not json"))
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", status, b)
+	}
+	if !strings.Contains(string(b), "malformed request") {
+		t.Fatalf("missing decode error: %s", b)
+	}
+}
+
+func TestHandlerRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		req  *Request
+	}{
+		{"unknown algo", &Request{Algo: "wat", Instance: instanceJSON(t)}},
+		{"no instance", &Request{Algo: Algo2Approx}},
+		{"rt without frame", &Request{Algo: AlgoRT, Instance: instanceJSON(t)}},
+		{"memory1 without spec", &Request{Algo: AlgoMemory1, Instance: instanceJSON(t)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body, _ := json.Marshal(tc.req)
+			status, b, _ := post(t, ts.URL+"/v1/solve", body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", status, b)
+			}
+		})
+	}
+}
+
+// TestHandlerDeadlineAnswers504 pins the deadline path end to end: a
+// request whose per-request deadline expires answers 504 and counts as
+// canceled. The run seam stands in for a slow solve so the occupancy is
+// deterministic; TestDoObservesExpiredDeadline proves the real solvers
+// notice the same context.
+func TestHandlerDeadlineAnswers504(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.run = func(ctx context.Context, req *Request, ws *Workspaces) (*Response, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	body, _ := json.Marshal(&Request{Algo: Algo2Approx, Instance: instanceJSON(t), TimeoutMS: 20})
+	status, b, _ := post(t, ts.URL+"/v1/solve", body)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", status, b)
+	}
+	if got := s.Stats().Canceled; got != 1 {
+		t.Fatalf("canceled counter = %d, want 1", got)
+	}
+}
+
+// TestDoObservesExpiredDeadline proves cancellation reaches the actual
+// solver stack: an already-expired deadline aborts the LP pipeline (and
+// the exact search) with context.DeadlineExceeded, not a wrong answer.
+func TestDoObservesExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, algo := range []string{Algo2Approx, AlgoBest, AlgoLP, AlgoExact} {
+		if _, err := Do(ctx, &Request{Algo: algo, Instance: instanceJSON(t)}, NewWorkspaces()); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s under expired deadline returned %v, want context.DeadlineExceeded", algo, err)
+		}
+	}
+}
+
+// TestHandlerShedsWhenQueueFull fills the one-worker, one-slot queue and
+// checks the next request is shed deterministically: 429, Retry-After,
+// and the shed counter — no waiting, no partial work.
+func TestHandlerShedsWhenQueueFull(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.run = func(ctx context.Context, req *Request, ws *Workspaces) (*Response, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return &Response{Algo: req.Algo}, nil
+	}
+	defer close(release)
+
+	body, _ := json.Marshal(&Request{Algo: Algo2Approx, Instance: instanceJSON(t)})
+	// Occupy the worker, then fill the single queue slot.
+	go s.Submit(context.Background(), []*Request{{Algo: Algo2Approx}})
+	<-started
+	go s.Submit(context.Background(), []*Request{{Algo: Algo2Approx}})
+	waitQueued(t, s, 1)
+
+	status, b, hdr := post(t, ts.URL+"/v1/solve", body)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", status, b)
+	}
+	if got := hdr.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+	if got := s.Stats().Shed; got == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+}
+
+// waitQueued waits until n tasks sit in the admission queue.
+func waitQueued(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d tasks", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHandlerBatch: one task, per-item answers; a bad item fails alone.
+func TestHandlerBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body, _ := json.Marshal([]*Request{
+		{Algo: AlgoLP, Instance: instanceJSON(t)},
+		{Algo: "wat", Instance: instanceJSON(t)},
+	})
+	status, b, _ := post(t, ts.URL+"/v1/batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, b)
+	}
+	var resps []Response
+	if err := json.Unmarshal(b, &resps); err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("batch answered %d items, want 2", len(resps))
+	}
+	if resps[0].Error != "" || resps[0].LPBound < 1 {
+		t.Fatalf("lp item: %+v", resps[0])
+	}
+	if resps[1].Error == "" {
+		t.Fatal("bad item reported no error")
+	}
+}
+
+func TestHandlerBatchTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBatch: 2})
+	body, _ := json.Marshal([]*Request{{Algo: AlgoLP}, {Algo: AlgoLP}, {Algo: AlgoLP}})
+	status, b, _ := post(t, ts.URL+"/v1/batch", body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", status, b)
+	}
+}
+
+func TestHandlerHealthAndStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 1 {
+		t.Fatalf("statsz workers = %d, want 1", st.Workers)
+	}
+}
+
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{badRequestf("nope"), http.StatusBadRequest},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, statusClientClosed},
+		{errors.New("solver exploded"), http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

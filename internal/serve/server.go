@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the Server. The zero value picks the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size; each worker holds one Workspaces
+	// for its lifetime. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue (in tasks, where a batch is
+	// one task). A full queue sheds deterministically — ErrOverloaded,
+	// which the HTTP layer turns into 429 + Retry-After — instead of
+	// queuing without bound. Default: 4 × Workers.
+	QueueDepth int
+	// DefaultTimeout applies to requests that carry no timeout_ms.
+	// Default: 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any per-request timeout_ms (0 = DefaultTimeout
+	// serves as the cap too). Keeps a client from parking a worker on a
+	// week-long exact solve.
+	MaxTimeout time.Duration
+	// RetryAfter is the deterministic backoff hint attached to shed
+	// responses. Default: 1s.
+	RetryAfter time.Duration
+	// MaxBatch bounds the number of requests in one batch task.
+	// Default: 64.
+	MaxBatch int
+	// MaxBody bounds the request body in bytes. Default: 8 MiB.
+	MaxBody int64
+}
+
+// withDefaults resolves the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = c.DefaultTimeout
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 8 << 20
+	}
+	return c
+}
+
+// ErrOverloaded reports a full admission queue: the request was shed
+// without consuming solver time and may be retried after the Retry-After
+// hint.
+var ErrOverloaded = errors.New("serve: queue full, request shed")
+
+// ErrStopped reports a submit after Close.
+var ErrStopped = errors.New("serve: server stopped")
+
+// Result pairs one request's response with its failure, so the HTTP
+// layer can map failure kinds to status codes.
+type Result struct {
+	Resp *Response
+	Err  error
+}
+
+// task is one unit of queued work: a single request or a batch, answered
+// in input order on one worker's workspaces.
+type task struct {
+	ctx  context.Context
+	reqs []*Request
+	done chan []Result // buffered(1); the worker always answers
+}
+
+// Stats is a monotonic-counter snapshot plus instantaneous gauges.
+type Stats struct {
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	Queued     int    `json:"queued"`   // tasks waiting right now
+	Accepted   uint64 `json:"accepted"` // requests admitted to the queue
+	Completed  uint64 `json:"completed"`
+	Shed       uint64 `json:"shed"`     // 429s: queue was full
+	Canceled   uint64 `json:"canceled"` // context died before or during solve
+	Failed     uint64 `json:"failed"`   // solver or request errors
+}
+
+// Server owns the worker pool and the bounded admission queue. Create
+// with New, serve HTTP through Handler, stop with Close.
+type Server struct {
+	cfg   Config
+	queue chan *task
+
+	mu      sync.RWMutex // guards stopped vs. queue close
+	stopped bool
+	wg      sync.WaitGroup
+
+	accepted, completed, shed, canceled, failed atomic.Uint64
+
+	// run is the per-request unit of work; tests may replace it before
+	// the first submit to make worker occupancy deterministic.
+	run func(ctx context.Context, req *Request, ws *Workspaces) (*Response, error)
+}
+
+// New starts a Server: cfg.Workers goroutines, each with its own
+// long-lived Workspaces, consuming one bounded queue.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults(), run: Do}
+	s.queue = make(chan *task, s.cfg.QueueDepth)
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the resolved configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Close stops admission, drains the queue, and waits for in-flight work.
+// Queued tasks are still answered (their own contexts bound how long
+// that takes).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Queued:     len(s.queue),
+		Accepted:   s.accepted.Load(),
+		Completed:  s.completed.Load(),
+		Shed:       s.shed.Load(),
+		Canceled:   s.canceled.Load(),
+		Failed:     s.failed.Load(),
+	}
+}
+
+// Submit enqueues the requests as one task and waits for the answers
+// (input order). It returns ErrOverloaded without blocking when the
+// queue is full and ErrStopped after Close; otherwise it waits for the
+// worker — solver stages poll ctx, so a dead context ends the wait
+// promptly with per-request cancellation errors in the results.
+func (s *Server) Submit(ctx context.Context, reqs []*Request) ([]Result, error) {
+	if len(reqs) == 0 {
+		return nil, badRequestf("empty request batch")
+	}
+	if len(reqs) > s.cfg.MaxBatch {
+		return nil, badRequestf("batch of %d exceeds the %d-request cap", len(reqs), s.cfg.MaxBatch)
+	}
+	t := &task{ctx: ctx, reqs: reqs, done: make(chan []Result, 1)}
+
+	s.mu.RLock()
+	if s.stopped {
+		s.mu.RUnlock()
+		return nil, ErrStopped
+	}
+	select {
+	case s.queue <- t:
+		s.mu.RUnlock()
+		s.accepted.Add(uint64(len(reqs)))
+	default:
+		s.mu.RUnlock()
+		s.shed.Add(uint64(len(reqs)))
+		return nil, ErrOverloaded
+	}
+	return <-t.done, nil
+}
+
+// worker consumes tasks until Close. The Workspaces live as long as the
+// worker: every request it serves reuses the same simplex tableau,
+// constraint arenas and branch-and-bound buffers.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	ws := NewWorkspaces()
+	for t := range s.queue {
+		results := make([]Result, len(t.reqs))
+		for i, req := range t.reqs {
+			results[i] = s.serveOne(t.ctx, req, ws)
+		}
+		t.done <- results
+	}
+}
+
+// serveOne runs one request under its own deadline, classifying the
+// outcome for the counters.
+func (s *Server) serveOne(ctx context.Context, req *Request, ws *Workspaces) Result {
+	// A client that vanished while the task was queued costs nothing.
+	if err := ctx.Err(); err != nil {
+		s.canceled.Add(1)
+		return Result{Err: fmt.Errorf("serve: request abandoned in queue: %w", err)}
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	resp, err := s.run(rctx, req, ws)
+	cancel()
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.canceled.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+	return Result{Resp: resp, Err: err}
+}

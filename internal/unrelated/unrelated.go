@@ -60,23 +60,25 @@ func (in *Instance) minProc(j int) (int64, int) {
 	return best, arg
 }
 
-// FeasibleLP solves the R||Cmax feasibility relaxation at makespan T and
-// returns a vertex solution x[j][i] when feasible.
-func FeasibleLP(in *Instance, T int64) (bool, [][]float64, error) {
-	return FeasibleLPCtx(context.Background(), in, T)
-}
-
-// FeasibleLPCtx is FeasibleLP under a context: the simplex solve aborts
-// between pivots once ctx is done (the error wraps ctx.Err()).
-func FeasibleLPCtx(ctx context.Context, in *Instance, T int64) (bool, [][]float64, error) {
-	return FeasibleLPWS(ctx, in, T, nil)
-}
-
-// FeasibleLPWS is FeasibleLPCtx on a caller-held simplex Workspace, so a
-// caller's further solves reuse one tableau (nil falls back to the
+// FeasibleLPWS solves the R||Cmax feasibility relaxation at makespan T
+// and returns a vertex solution x[j][i] when feasible. This is the
+// canonical spelling: the simplex solve aborts between pivots once ctx
+// is done (the error wraps ctx.Err()), and the caller-held simplex
+// Workspace lets further solves reuse one tableau (nil falls back to the
 // solver's internal pool).
 func FeasibleLPWS(ctx context.Context, in *Instance, T int64, ws *lp.Workspace) (bool, [][]float64, error) {
 	return feasibleLP(ctx, in, T, &lpScratch{ws: ws})
+}
+
+// FeasibleLP is FeasibleLPWS with context.Background() and a pooled
+// workspace — one-shot-caller shorthand.
+func FeasibleLP(in *Instance, T int64) (bool, [][]float64, error) {
+	return FeasibleLPWS(context.Background(), in, T, nil)
+}
+
+// FeasibleLPCtx is FeasibleLPWS with a pooled workspace — compat wrapper.
+func FeasibleLPCtx(ctx context.Context, in *Instance, T int64) (bool, [][]float64, error) {
+	return FeasibleLPWS(ctx, in, T, nil)
 }
 
 // pair is one (job, machine) LP variable of the feasibility relaxation.
@@ -151,9 +153,13 @@ func feasibleLP(ctx context.Context, in *Instance, T int64, sc *lpScratch) (bool
 	return true, out, nil
 }
 
-// MinFeasibleT binary-searches the minimal integer T with a feasible
-// relaxation and returns a vertex solution at that T.
-func MinFeasibleT(in *Instance) (int64, [][]float64, error) {
+// MinFeasibleTWS binary-searches the minimal integer T with a feasible
+// relaxation and returns a vertex solution at that T. This is the
+// canonical spelling: the binary search checks ctx before every probe
+// (each probe itself aborts between simplex pivots), and every probe
+// rebuilds into one build scratch backed by the caller-held simplex
+// workspace (nil allocates a private one for the whole search).
+func MinFeasibleTWS(ctx context.Context, in *Instance, ws *lp.Workspace) (int64, [][]float64, error) {
 	var lo, hi int64 = 1, 0
 	for j := 0; j < in.N(); j++ {
 		v, _ := in.minProc(j)
@@ -168,14 +174,14 @@ func MinFeasibleT(in *Instance) (int64, [][]float64, error) {
 	if hi < lo {
 		hi = lo
 	}
-	// One build scratch and one simplex workspace across every probe of
-	// the search: each re-solve after the first rebuilds into the same
-	// problem arenas and tableau.
-	sc := &lpScratch{ws: lp.NewWorkspace()}
+	if ws == nil {
+		ws = lp.NewWorkspace()
+	}
+	sc := &lpScratch{ws: ws}
 	var best [][]float64
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		ok, x, err := feasibleLP(context.Background(), in, mid, sc)
+		ok, x, err := feasibleLP(ctx, in, mid, sc)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -186,7 +192,7 @@ func MinFeasibleT(in *Instance) (int64, [][]float64, error) {
 		}
 	}
 	if best == nil {
-		ok, x, err := feasibleLP(context.Background(), in, lo, sc)
+		ok, x, err := feasibleLP(ctx, in, lo, sc)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -195,13 +201,19 @@ func MinFeasibleT(in *Instance) (int64, [][]float64, error) {
 		}
 		best = x
 	} else {
-		ok, x, err := feasibleLP(context.Background(), in, lo, sc)
+		ok, x, err := feasibleLP(ctx, in, lo, sc)
 		if err != nil || !ok {
 			return 0, nil, fmt.Errorf("unrelated: re-solve at T*=%d failed (err=%v)", lo, err)
 		}
 		best = x
 	}
 	return lo, best, nil
+}
+
+// MinFeasibleT is MinFeasibleTWS with context.Background() and a private
+// workspace — one-shot-caller shorthand.
+func MinFeasibleT(in *Instance) (int64, [][]float64, error) {
+	return MinFeasibleTWS(context.Background(), in, nil)
 }
 
 // RoundVertex applies the LST rounding to a vertex solution x at makespan
@@ -272,11 +284,14 @@ func RoundVertex(in *Instance, T int64, x [][]float64) ([]int, error) {
 	return assign, nil
 }
 
-// LST runs the full Lenstra–Shmoys–Tardos pipeline: binary search for the
-// minimal LP-feasible T*, then round the vertex solution. The returned
-// assignment has makespan at most 2·T* ≤ 2·OPT.
-func LST(in *Instance) (assign []int, lpT int64, err error) {
-	T, x, err := MinFeasibleT(in)
+// LSTWS runs the full Lenstra–Shmoys–Tardos pipeline: binary search for
+// the minimal LP-feasible T*, then round the vertex solution. The
+// returned assignment has makespan at most 2·T* ≤ 2·OPT. This is the
+// canonical spelling: ctx aborts the search between simplex pivots, and
+// the caller-held workspace carries one tableau across every probe (nil
+// allocates a private one).
+func LSTWS(ctx context.Context, in *Instance, ws *lp.Workspace) (assign []int, lpT int64, err error) {
+	T, x, err := MinFeasibleTWS(ctx, in, ws)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -285,6 +300,12 @@ func LST(in *Instance) (assign []int, lpT int64, err error) {
 		return nil, 0, err
 	}
 	return assign, T, nil
+}
+
+// LST is LSTWS with context.Background() and a private workspace —
+// one-shot-caller shorthand.
+func LST(in *Instance) (assign []int, lpT int64, err error) {
+	return LSTWS(context.Background(), in, nil)
 }
 
 // LPT is the greedy baseline: jobs in decreasing order of their best
