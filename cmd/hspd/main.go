@@ -46,7 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queue    = fs.Int("queue", 0, "admission queue depth in tasks (0 = 4×workers)")
 		timeout  = fs.Duration("timeout", 30*time.Second, "default per-request solve deadline")
-		maxTO    = fs.Duration("max-timeout", 0, "cap on client-supplied timeouts (0 = -timeout)")
+		maxTO    = fs.Duration("max-timeout", 0, "cap on every per-request deadline, default or client-supplied (0 = -timeout)")
 		retry    = fs.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
 		maxBatch = fs.Int("max-batch", 64, "max requests per /v1/batch task")
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 )
@@ -99,7 +100,9 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bo
 func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+		// Ceil, not truncate: a sub-second hint must not round to
+		// "Retry-After: 0" and invite an immediate retry storm.
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
 		writeJSON(w, http.StatusTooManyRequests, &Response{Error: err.Error()})
 	case errors.Is(err, ErrStopped):
 		writeJSON(w, http.StatusServiceUnavailable, &Response{Error: err.Error()})

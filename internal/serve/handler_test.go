@@ -223,6 +223,94 @@ func TestHandlerBatch(t *testing.T) {
 	}
 }
 
+// TestHandlerBatchRejectsNullElements: a JSON null in a batch decodes to
+// a nil *Request; it must answer 400 at admission, never reach a worker,
+// and never take the daemon down.
+func TestHandlerBatchRejectsNullElements(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, body := range []string{`[null]`, `[{},null]`} {
+		status, b, _ := post(t, ts.URL+"/v1/batch", []byte(body))
+		if status != http.StatusBadRequest {
+			t.Fatalf("body %s: status %d, want 400: %s", body, status, b)
+		}
+		if !strings.Contains(string(b), "null") {
+			t.Fatalf("body %s: missing null-element error: %s", body, b)
+		}
+	}
+	// The daemon survived: a well-formed request still gets served.
+	body, _ := json.Marshal(&Request{Algo: AlgoLP, Instance: instanceJSON(t)})
+	status, b, _ := post(t, ts.URL+"/v1/solve", body)
+	if status != http.StatusOK {
+		t.Fatalf("post-null solve: status %d: %s", status, b)
+	}
+}
+
+// TestHandlerRecoversSolverPanic: a panicking solve becomes that one
+// request's 422; the worker pool keeps serving afterwards with fresh
+// workspaces.
+func TestHandlerRecoversSolverPanic(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	realRun := s.run
+	s.run = func(ctx context.Context, req *Request, ws *Workspaces) (*Response, error) {
+		if req.Algo == "boom" {
+			panic("index out of range on a pathological instance")
+		}
+		return realRun(ctx, req, ws)
+	}
+	body, _ := json.Marshal(&Request{Algo: "boom", Instance: instanceJSON(t)})
+	status, b, _ := post(t, ts.URL+"/v1/solve", body)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", status, b)
+	}
+	if !strings.Contains(string(b), "solver panic") {
+		t.Fatalf("missing panic error: %s", b)
+	}
+	if got := s.Stats().Failed; got != 1 {
+		t.Fatalf("failed counter = %d, want 1", got)
+	}
+	// Same worker, next request: still answered, on rebuilt workspaces.
+	body, _ = json.Marshal(&Request{Algo: Algo2Approx, Instance: instanceJSON(t)})
+	status, b, _ = post(t, ts.URL+"/v1/solve", body)
+	if status != http.StatusOK {
+		t.Fatalf("post-panic solve: status %d: %s", status, b)
+	}
+}
+
+// TestDefaultTimeoutCappedByMaxTimeout: a request omitting timeout_ms
+// must not escape the -max-timeout cap via the (larger) default.
+func TestDefaultTimeoutCappedByMaxTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers:        1,
+		DefaultTimeout: time.Hour,
+		MaxTimeout:     20 * time.Millisecond,
+	})
+	s.run = func(ctx context.Context, req *Request, ws *Workspaces) (*Response, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	body, _ := json.Marshal(&Request{Algo: Algo2Approx, Instance: instanceJSON(t)})
+	start := time.Now()
+	status, b, _ := post(t, ts.URL+"/v1/solve", body)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", status, b)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("default-timeout request ran %v, cap of 20ms not applied", elapsed)
+	}
+}
+
+// TestRetryAfterRoundsUp: a sub-second Retry-After must advertise at
+// least one second, never "Retry-After: 0".
+func TestRetryAfterRoundsUp(t *testing.T) {
+	s := New(Config{Workers: 1, RetryAfter: 500 * time.Millisecond})
+	defer s.Close()
+	w := httptest.NewRecorder()
+	s.writeSubmitError(w, ErrOverloaded)
+	if got := w.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+}
+
 func TestHandlerBatchTooLarge(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, MaxBatch: 2})
 	body, _ := json.Marshal([]*Request{{Algo: AlgoLP}, {Algo: AlgoLP}, {Algo: AlgoLP}})

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -171,6 +172,13 @@ func (s *Server) Submit(ctx context.Context, reqs []*Request) ([]Result, error) 
 	if len(reqs) > s.cfg.MaxBatch {
 		return nil, badRequestf("batch of %d exceeds the %d-request cap", len(reqs), s.cfg.MaxBatch)
 	}
+	for i, r := range reqs {
+		// A JSON null batch element decodes to a nil *Request; reject it
+		// here so no worker ever dereferences one.
+		if r == nil {
+			return nil, badRequestf("batch element %d is null", i)
+		}
+	}
 	t := &task{ctx: ctx, reqs: reqs, done: make(chan []Result, 1)}
 
 	s.mu.RLock()
@@ -199,29 +207,39 @@ func (s *Server) worker() {
 	for t := range s.queue {
 		results := make([]Result, len(t.reqs))
 		for i, req := range t.reqs {
-			results[i] = s.serveOne(t.ctx, req, ws)
+			var panicked bool
+			results[i], panicked = s.serveOne(t.ctx, req, ws)
+			if panicked {
+				// A panic may have left the pooled solver state
+				// half-mutated; start the next request from scratch.
+				ws = NewWorkspaces()
+			}
 		}
 		t.done <- results
 	}
 }
 
 // serveOne runs one request under its own deadline, classifying the
-// outcome for the counters.
-func (s *Server) serveOne(ctx context.Context, req *Request, ws *Workspaces) Result {
+// outcome for the counters. The second return reports a recovered
+// solver panic, telling the worker to retire its workspaces.
+func (s *Server) serveOne(ctx context.Context, req *Request, ws *Workspaces) (Result, bool) {
 	// A client that vanished while the task was queued costs nothing.
 	if err := ctx.Err(); err != nil {
 		s.canceled.Add(1)
-		return Result{Err: fmt.Errorf("serve: request abandoned in queue: %w", err)}
+		return Result{Err: fmt.Errorf("serve: request abandoned in queue: %w", err)}, false
 	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
+	}
+	// The cap binds whether the timeout came from the request or the
+	// default — otherwise -timeout above -max-timeout reopens the hole
+	// the cap exists to close.
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
 	}
 	rctx, cancel := context.WithTimeout(ctx, timeout)
-	resp, err := s.run(rctx, req, ws)
+	resp, err, panicked := s.runRecovered(rctx, req, ws)
 	cancel()
 	switch {
 	case err == nil:
@@ -231,5 +249,19 @@ func (s *Server) serveOne(ctx context.Context, req *Request, ws *Workspaces) Res
 	default:
 		s.failed.Add(1)
 	}
-	return Result{Resp: resp, Err: err}
+	return Result{Resp: resp, Err: err}, panicked
+}
+
+// runRecovered shields the worker pool from a panicking solver: one
+// pathological instance becomes that request's error (422 at the HTTP
+// layer) instead of killing every worker and hanging every Submit
+// waiting on a done channel.
+func (s *Server) runRecovered(ctx context.Context, req *Request, ws *Workspaces) (resp *Response, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err, panicked = nil, fmt.Errorf("serve: solver panic: %v\n%s", r, debug.Stack()), true
+		}
+	}()
+	resp, err = s.run(ctx, req, ws)
+	return resp, err, false
 }
