@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: all build vet fmt-check lint-docs test race bench-quick bench-packs \
 	bench-shard bench-merge bench-sharded bench-alloc bench-hot profile \
-	hspd-smoke ci
+	hspd-smoke fuzz-smoke ci
 
 all: build vet test
 
@@ -112,6 +112,20 @@ hspd-smoke:
 	$(SMOKE_OUT)/hspd -loadtest -duration $(SMOKE_DURATION) -concurrency 8 \
 		-summary $(SMOKE_OUT)/latency.json
 
+# Coverage-guided fuzzing smoke: a short budget per target on every CI
+# run (regression corpus under testdata/fuzz always runs with plain
+# `go test`; this adds fresh exploration). The properties fuzzed are the
+# warm-start safety contract: warm/cold verdict+objective agreement and
+# feasibility on arbitrary LPs, and warm/cold T* equality plus verdict
+# monotonicity around T* for the relaxation's binary search. Targets run
+# one at a time — go test allows a single -fuzz pattern per package.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzLPSolve' -fuzztime $(FUZZTIME) ./internal/lp
+	$(GO) test -run '^$$' -fuzz 'FuzzLPWarmObjective' -fuzztime $(FUZZTIME) ./internal/lp
+	$(GO) test -run '^$$' -fuzz 'FuzzMinFeasibleT' -fuzztime $(FUZZTIME) ./internal/relax
+
 PROFILE_OUT ?= out/profile
 
 profile:
@@ -121,4 +135,4 @@ profile:
 		> $(PROFILE_OUT)/run.jsonl
 	@echo "profiles written: $(PROFILE_OUT)/cpu.pprof $(PROFILE_OUT)/heap.pprof"
 
-ci: build vet fmt-check lint-docs race bench-alloc bench-quick bench-packs hspd-smoke
+ci: build vet fmt-check lint-docs race bench-alloc fuzz-smoke bench-quick bench-packs hspd-smoke

@@ -1,6 +1,7 @@
 package exact_test
 
 import (
+	"context"
 	"testing"
 
 	"hsp/internal/exact"
@@ -38,6 +39,33 @@ func BenchmarkSolve(b *testing.B) {
 		if opt <= 0 {
 			b.Fatalf("opt = %d", opt)
 		}
+	}
+}
+
+// BenchmarkExactSolveWarm is the exact solver on a reused workspace: the
+// LP seeding warm-starts probe to probe and the DFS scratch (twin
+// tables, bound buffers) is reused. nodes/op counts canonical DFS nodes
+// — the node-cap currency — per solve.
+func BenchmarkExactSolveWarm(b *testing.B) {
+	in := benchInstance(b)
+	ctx := context.Background()
+	ws := exact.NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, opt, err := exact.SolveWS(ctx, in, exact.Options{}, ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if opt <= 0 {
+			b.Fatalf("opt = %d", opt)
+		}
+	}
+	b.StopTimer()
+	st := ws.Stats()
+	b.ReportMetric(float64(st.Canonical)/float64(b.N), "nodes/op")
+	if st.Relax.LP.Solves > 0 {
+		b.ReportMetric(float64(st.Relax.LP.WarmHits)/float64(st.Relax.LP.Solves), "warmhit-ratio")
 	}
 }
 

@@ -55,6 +55,51 @@ type Workspace struct {
 	order     []int   // most-constrained-first job order
 	assign    model.Assignment
 	ancCount  []int32 // scratch for commonAncestor
+
+	// Twin-pair symmetry state (see prepare): pairWith[k] = k-1 marks a
+	// position whose job is identical to the one right before it in the
+	// DFS order; the pair's branches are explored only in nondecreasing
+	// candidate-index order, and mirror[k] records explored branch sizes
+	// so the skipped ones are counted without being visited.
+	pairWith    []int   // per order position: k-1 when paired with it, else -1
+	chosenCi    []int   // per order position: candidate index committed there
+	mirror      [][]int // per pair-second position: ncands×ncands branch node counts
+	mirrorArena []int   // flat backing for mirror tables
+	visited     int     // nodes actually expanded (w.nodes counts the canonical tree)
+
+	// relaxWS seeds SolveWS's binary-search lower bound; holding it here
+	// lets the LP probes of consecutive Solve calls warm-start.
+	relaxWS *relax.Workspace
+
+	// Lifetime counters, reset with ResetStats.
+	statProbes    int
+	statVisited   int
+	statCanonical int
+}
+
+// Stats aggregates search effort across the workspace's lifetime.
+type Stats struct {
+	Probes    int         // DFS feasibility probes
+	Visited   int         // DFS nodes actually expanded
+	Canonical int         // nodes of the canonical (unpruned) tree — the node-cap currency
+	Relax     relax.Stats // LP effort of the lower-bound searches seeding SolveWS
+}
+
+// Stats snapshots the workspace counters.
+func (w *Workspace) Stats() Stats {
+	s := Stats{Probes: w.statProbes, Visited: w.statVisited, Canonical: w.statCanonical}
+	if w.relaxWS != nil {
+		s.Relax = w.relaxWS.Stats()
+	}
+	return s
+}
+
+// ResetStats zeroes the workspace counters.
+func (w *Workspace) ResetStats() {
+	w.statProbes, w.statVisited, w.statCanonical = 0, 0, 0
+	if w.relaxWS != nil {
+		w.relaxWS.ResetStats()
+	}
 }
 
 // NewWorkspace returns an empty Workspace. The zero value is also valid.
@@ -78,7 +123,15 @@ func SolveWS(ctx context.Context, in *model.Instance, opts Options, ws *Workspac
 	if ws == nil {
 		ws = NewWorkspace()
 	}
-	lo, _, err := relax.MinFeasibleTCtx(ctx, in)
+	// The LP lower bound reuses a workspace held by this exact workspace,
+	// so the probes of its binary search warm-start — and so do the
+	// searches of later Solve calls on the same workspace. T* and the
+	// (discarded) witness are byte-identical to a cold search: warm start
+	// changes how fast probes answer, never what they answer.
+	if ws.relaxWS == nil {
+		ws.relaxWS = relax.NewWorkspace()
+	}
+	lo, _, err := relax.MinFeasibleTWS(ctx, in, ws.relaxWS)
 	if err != nil {
 		return nil, 0, fmt.Errorf("exact: %w", err)
 	}
@@ -137,9 +190,13 @@ func FeasibleAssignmentWS(ctx context.Context, in *model.Instance, T int64, opts
 	// instance in a caller-held workspace past the probe.
 	defer func() { ws.ctx, ws.in = nil, nil }()
 	if !ws.prepare(ctx, in, T, opts) {
+		ws.statProbes++
 		return nil, false, nil
 	}
 	ok, err := ws.search()
+	ws.statProbes++
+	ws.statVisited += ws.visited
+	ws.statCanonical += ws.nodes
 	if err != nil {
 		return nil, false, err
 	}
@@ -243,8 +300,69 @@ func (w *Workspace) prepare(ctx context.Context, in *model.Instance, T int64, op
 		return w.minP[ja] > w.minP[jb]
 	})
 
+	// Twin-pair symmetry breaking: two adjacent positions holding jobs
+	// with identical Proc rows are interchangeable, so the DFS explores
+	// only branches where the second twin's candidate index is ≥ the
+	// first's. This is sound for refutation (swapping the pair in any
+	// feasible assignment yields one respecting the order) and exact for
+	// the witness: the lexicographically-first feasible leaf — what the
+	// unpruned DFS returns — already respects it, because swapping a
+	// violating pair yields a lex-smaller feasible leaf. Identical rows
+	// sort into identical candidate lists, so indices are comparable.
+	//
+	// The node counter stays canonical (as if nothing were skipped): a
+	// skipped branch (c at the head, d < c at the second) is a twin swap
+	// of the branch (d, c) explored earlier under the same parent, and an
+	// unpruned DFS expands both to the same node count — the committed
+	// loads agree on every shared ancestor and the per-candidate (2b)
+	// checks agree because a head candidate that committed already passed
+	// its own chain check. mirror[k] records those branch sizes as they
+	// are explored; skip time adds them back. Node-cap semantics are
+	// therefore bit-identical to the unpruned search. Pairs are disjoint
+	// (a run of r identical jobs yields ⌊r/2⌋ pairs): deeper chains would
+	// need permutation tables keyed by whole tuples for the same
+	// guarantee.
+	w.pairWith = scratch.Grow(w.pairWith, n)
+	w.chosenCi = scratch.Grow(w.chosenCi, n)
+	w.mirror = scratch.Grow(w.mirror, n)
+	arena := 0
+	for k := 0; k < n; k++ {
+		w.pairWith[k] = -1
+		w.mirror[k] = nil
+	}
+	for k := 1; k < n; k++ {
+		if w.pairWith[k-1] == -1 && procRowsEqual(in.Proc[w.order[k-1]], in.Proc[w.order[k]]) {
+			w.pairWith[k] = k - 1
+			nc := len(w.cands[w.order[k]])
+			arena += nc * nc
+		}
+	}
+	w.mirrorArena = scratch.Grow(w.mirrorArena, arena)
+	arena = 0
+	for k := 1; k < n; k++ {
+		if w.pairWith[k] == k-1 {
+			nc := len(w.cands[w.order[k]])
+			w.mirror[k] = w.mirrorArena[arena : arena+nc*nc]
+			arena += nc * nc
+		}
+	}
+
 	for j := 0; j < n; j++ {
 		w.assign[j] = -1
+	}
+	return true
+}
+
+// procRowsEqual reports whether two jobs have the same processing time on
+// every set — the interchangeability test behind twin symmetry breaking.
+func procRowsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
 	}
 	return true
 }
@@ -256,6 +374,7 @@ func (w *Workspace) prepare(ctx context.Context, in *model.Instance, T int64, op
 // paths, and they terminate the probe.
 func (w *Workspace) search() (bool, error) {
 	w.nodes = 0
+	w.visited = 0
 	return w.dfs(0)
 }
 
@@ -266,12 +385,13 @@ func (w *Workspace) search() (bool, error) {
 // ~4k-node stride, outside the per-node arithmetic.
 func (w *Workspace) dfs(k int) (bool, error) {
 	w.nodes++
+	w.visited++
 	if w.nodes > w.limit {
 		return false, fmt.Errorf("exact: node cap %d exceeded at T=%d", w.limit, w.T)
 	}
 	// Poll the context on a stride: a single node is tens of
 	// nanoseconds, so a per-node Err() call would dominate the search.
-	if w.nodes&0xfff == 0 && w.ctx != nil {
+	if w.visited&0xfff == 0 && w.ctx != nil {
 		if err := w.ctx.Err(); err != nil {
 			return false, fmt.Errorf("exact: canceled after %d nodes at T=%d: %w", w.nodes, w.T, err)
 		}
@@ -284,7 +404,36 @@ func (w *Workspace) dfs(k int) (bool, error) {
 	j := w.order[k]
 	proc := w.in.Proc[j]
 	cl := w.ceiling[j]
-	for _, s := range w.cands[j] {
+	cj := w.cands[j]
+	if k+1 < w.n && w.pairWith[k+1] == k {
+		// Pair head: this invocation owns the second twin's mirror table.
+		m := w.mirror[k+1]
+		for i := range m {
+			m[i] = 0
+		}
+	}
+	// Twin-pair symmetry: resume at the candidate index the paired
+	// identical job just committed to — earlier indices reproduce twin
+	// swaps of branches the head already explored. Their canonical node
+	// counts were recorded in the mirror table as those branches ran, and
+	// the unpruned search would have expanded them here first, so the
+	// counter (and any cap exhaustion) advances exactly as it would have.
+	start := 0
+	var mrec []int // non-nil: record branch sizes at mrec[ci]
+	if k > 0 && w.pairWith[k] == k-1 {
+		start = w.chosenCi[k-1]
+		m := w.mirror[k]
+		nc := len(cj)
+		for d := 0; d < start; d++ {
+			w.nodes += m[d*nc+start]
+		}
+		if w.nodes > w.limit {
+			return false, fmt.Errorf("exact: node cap %d exceeded at T=%d", w.limit, w.T)
+		}
+		mrec = m[start*nc : (start+1)*nc]
+	}
+	for ci := start; ci < len(cj); ci++ {
+		s := cj[ci]
 		p := proc[s]
 		ok := true
 		// (2b) along the ancestor chain of s, including the forced
@@ -314,12 +463,17 @@ func (w *Workspace) dfs(k int) (bool, error) {
 			}
 		}
 		w.assign[j] = s
+		w.chosenCi[k] = ci
+		before := w.nodes
 		done, err := w.dfs(k + 1)
 		if err != nil {
 			return false, err
 		}
 		if done {
 			return true, nil
+		}
+		if mrec != nil {
+			mrec[ci] = w.nodes - before
 		}
 		// Undo.
 		w.assign[j] = -1

@@ -72,6 +72,7 @@ type Problem struct {
 	cons  []constraint
 	idxs  []int     // constraint index arena
 	vals  []float64 // constraint coefficient arena
+	keys  []uint64  // optional per-variable identity keys (see SetVarKeys)
 	stamp []int     // per-variable marks for duplicate detection
 	gen   int       // current AddConstraint generation for stamp
 }
@@ -100,9 +101,29 @@ func (p *Problem) Reset(nvars int) {
 	p.cons = p.cons[:0]
 	p.idxs = p.idxs[:0]
 	p.vals = p.vals[:0]
+	p.keys = p.keys[:0]
 	p.stamp = scratch.Grow(p.stamp, nvars)
 	scratch.Clear(p.stamp)
 	p.gen = 0
+}
+
+// SetVarKeys attaches a stable identity key to every variable (len(keys)
+// must equal NumVars; keys must be strictly increasing). Keys let the
+// warm-start path recognize a problem whose variable set is a subset of
+// the one whose basis the workspace retains — the binary searches prune
+// variables as T shrinks, and without keys every pruning step would force
+// a cold solve. Keys never change what is solved, only whether a retained
+// basis may be re-entered. Reset clears them.
+func (p *Problem) SetVarKeys(keys []uint64) {
+	if len(keys) != p.nvars {
+		panic(fmt.Sprintf("lp: %d keys for %d variables", len(keys), p.nvars))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			panic("lp: variable keys must be strictly increasing")
+		}
+	}
+	p.keys = append(p.keys[:0], keys...)
 }
 
 // NumVars returns the number of structural variables.
@@ -155,6 +176,7 @@ type Solution struct {
 	X          []float64 // structural variable values (valid when Optimal)
 	Objective  float64   // c·X (valid when Optimal)
 	Iterations int       // total simplex pivots across both phases
+	Warm       bool      // answered by the warm-start dual-simplex path
 }
 
 const (
@@ -188,16 +210,66 @@ func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 // allocates nothing but the returned Solution. A nil ctx disables the
 // between-pivot cancellation polls; a nil ws falls back to the internal
 // pool. The Workspace must not be used concurrently (see its doc).
+//
+// A caller-held Workspace additionally retains the optimal basis between
+// solves: when the next problem differs from the retained one only in
+// constraint right-hand sides, the solve re-enters via dual-simplex
+// pivots from that basis instead of two-phase simplex from scratch (see
+// the warm-start contract on Workspace). Pool-backed solves never warm
+// start — a pooled workspace may be handed to unrelated callers, whose
+// witness vertices must not depend on who solved before them.
 func (p *Problem) SolveWS(ctx context.Context, ws *Workspace) (*Solution, error) {
-	if ws == nil {
+	pooled := ws == nil
+	if pooled {
 		ws = wsPool.Get().(*Workspace)
 		defer wsPool.Put(ws)
 	}
+	ws.counters.Solves++
 	t := &ws.t
-	t.init(p)
 	t.ctx = ctx
 	defer func() { t.ctx = nil }() // don't retain the context in the pool
+	if !pooled {
+		if oldToNew, match := ws.warmMap(p); match {
+			sol, ok, err := ws.solveWarm(p, oldToNew)
+			if err != nil {
+				ws.warm.valid = false
+				return nil, err
+			}
+			if ok {
+				// The anchor signature still describes the tableau: pivots
+				// moved the basis within the anchor's column space, so the
+				// retained state stays valid for the next probe. Not
+				// re-retaining keeps subset re-entry anchored at the
+				// largest variable set seen, which the shrinking probes of
+				// a binary search all map into.
+				ws.counters.WarmHits++
+				if oldToNew != nil {
+					ws.counters.SubsetHits++
+				}
+				ws.counters.WarmPivots += sol.Iterations
+				ws.counters.Pivots += sol.Iterations
+				return sol, nil
+			}
+			ws.counters.WarmFallbacks++
+		}
+	}
+	sol, err := p.solveCold(ws)
+	if err == nil && !pooled && sol.Status == Optimal {
+		ws.retain(p)
+	} else {
+		ws.warm.valid = false
+	}
+	return sol, err
+}
+
+// solveCold runs the regular two-phase simplex on a freshly initialized
+// tableau.
+func (p *Problem) solveCold(ws *Workspace) (*Solution, error) {
+	t := &ws.t
+	t.init(p)
 	sol := &Solution{}
+	ws.counters.ColdSolves++
+	defer func() { ws.counters.Pivots += sol.Iterations }()
 
 	// Phase 1: minimize the sum of artificial variables.
 	if t.nart > 0 {
@@ -279,7 +351,13 @@ type tableau struct {
 	unbounded     bool
 	degenStreak   int
 	blandMode     bool
-	rowScale      []float64       // applied scaling per row (for diagnostics)
+	rowScale      []float64       // applied scaling per row (reused by warm re-entry)
+	idCol         []int           // per row: its initial basic column (slack or artificial)
+	hasBanned     bool            // warm subset re-entry: some columns are fixed at zero
+	banned        []bool          // per column; only meaningful when hasBanned
+	farkas        []float64       // scratch for re-verifying warm infeasibility rays
+	certRow       int             // dual-simplex certificate row (-1 = none)
+	certFlip      bool            // certificate came from a fixed basic above zero: negate the ray
 	ctx           context.Context // polled between pivots; nil = never canceled
 }
 
@@ -316,6 +394,7 @@ func (t *tableau) init(p *Problem) {
 	t.nstruct, t.nart = p.nvars, nart
 	t.artStart = p.nvars + nslack
 	t.unbounded = false
+	t.hasBanned = false
 	t.degenStreak = 0
 	t.blandMode = false
 	t.a = scratch.Grow(t.a, nrows*ncols)
@@ -327,6 +406,7 @@ func (t *tableau) init(p *Problem) {
 	t.cost2 = scratch.Grow(t.cost2, ncols+1)
 	scratch.Clear(t.cost2)
 	t.rowScale = scratch.Grow(t.rowScale, nrows)
+	t.idCol = scratch.Grow(t.idCol, nrows)
 
 	slack := p.nvars
 	art := t.artStart
@@ -390,6 +470,10 @@ func (t *tableau) init(p *Problem) {
 			t.basis[r] = art
 			art++
 		}
+		// The initial basic column of each row is a unit column, so after
+		// any pivot sequence the tableau's idCol columns hold B⁻¹ — the
+		// warm-start path reads them to reduce a fresh RHS.
+		t.idCol[r] = t.basis[r]
 		t.rhs[r] = rhs
 	}
 
@@ -484,6 +568,9 @@ func (t *tableau) chooseEntering(cost []float64, _ bool) int {
 	limit := t.artStart
 	if t.blandMode {
 		for j := 0; j < limit; j++ {
+			if t.hasBanned && t.banned[j] {
+				continue
+			}
 			if cost[j] < -zeroTol {
 				return j
 			}
@@ -492,6 +579,9 @@ func (t *tableau) chooseEntering(cost []float64, _ bool) int {
 	}
 	best, bestVal := -1, -zeroTol
 	for j := 0; j < limit; j++ {
+		if t.hasBanned && t.banned[j] {
+			continue
+		}
 		if cost[j] < bestVal {
 			best, bestVal = j, cost[j]
 		}

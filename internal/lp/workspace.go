@@ -17,8 +17,17 @@ import "sync"
 //
 // The returned Solution never aliases the Workspace: Solution.X is freshly
 // allocated per solve, so callers may keep results across re-solves.
+//
+// Beyond buffer reuse, a caller-held Workspace retains the optimal basis
+// of its last solve and warm-starts the next one when only constraint
+// right-hand sides changed — see the warm-start contract in warm.go.
+// InvalidateWarmStart forces the next solve cold; SetWarmStart(false)
+// forces every solve cold.
 type Workspace struct {
-	t tableau
+	t        tableau
+	warm     warmState
+	warmOff  bool
+	counters Counters
 }
 
 // NewWorkspace returns an empty Workspace ready for SolveWS/FeasibleWS.

@@ -61,9 +61,12 @@ func iterativeRound(ctx context.Context, varJob []int, nJobs int, packings []Pac
 	res := &roundResult{choice: choice}
 
 	// One LP problem and one simplex workspace for all rounding
-	// iterations: each residual LP rebuilds into the same arenas.
+	// iterations: each residual LP rebuilds into the same arenas. Every
+	// solve here materializes a vertex the rounding reads, so warm start
+	// stays off: rounded assignments must be the cold path's, bit for bit.
 	var p lp.Problem
 	ws := lp.NewWorkspace()
+	ws.SetWarmStart(false)
 	unassigned := nJobs
 	for iter := 0; unassigned > 0; iter++ {
 		if iter > 4*(len(varJob)+len(packings)+4) {

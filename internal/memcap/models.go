@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"hsp/internal/hier"
 	"hsp/internal/lp"
@@ -136,6 +137,16 @@ func pairVars(in *model.Instance, T int64, fits func(set, job int) bool) (varJob
 // to the solver's internal pool).
 func feasibleConstrainedLP(ctx context.Context, in *model.Instance, varJob []int, pairs [][2]int, packings []Packing, p *lp.Problem, ws *lp.Workspace) (bool, error) {
 	p.Reset(len(pairs))
+	// Keys identify (job, set) variables across probes at different T so
+	// the verdict-only binary search warm-starts even as pruning shrinks
+	// the variable set (subset matching in internal/lp). pairVars
+	// enumerates j-major, s-minor, so the keys are strictly increasing.
+	nsets := in.Family.Len()
+	keys := make([]uint64, len(pairs))
+	for v, pr := range pairs {
+		keys[v] = uint64(pr[1])*uint64(nsets) + uint64(pr[0])
+	}
+	p.SetVarKeys(keys)
 	jobVars := make([][]int, in.N())
 	for v, j := range varJob {
 		jobVars[j] = append(jobVars[j], v)
@@ -152,10 +163,16 @@ func feasibleConstrainedLP(ctx context.Context, in *model.Instance, varJob []int
 	}
 	for _, pk := range packings {
 		var idx []int
-		var val []float64
-		for v, a := range pk.Coef {
+		for v := range pk.Coef {
 			idx = append(idx, v)
-			val = append(val, a)
+		}
+		// Map iteration order is random; sorted entries keep the arena
+		// signature stable probe to probe so warm matching can see that
+		// only the right-hand sides changed.
+		sort.Ints(idx)
+		val := make([]float64, len(idx))
+		for k, v := range idx {
+			val[k] = pk.Coef[v]
 		}
 		if len(idx) > 0 {
 			p.MustAddConstraint(idx, val, lp.LE, pk.B)

@@ -1,6 +1,7 @@
 package relax_test
 
 import (
+	"context"
 	"testing"
 
 	"hsp/internal/model"
@@ -37,5 +38,32 @@ func BenchmarkMinFeasibleT(b *testing.B) {
 		if T <= 0 {
 			b.Fatalf("T* = %d", T)
 		}
+	}
+}
+
+// BenchmarkMinFeasibleTWarm is the same binary search on a reused
+// workspace, where consecutive probes re-enter the previous basis with
+// dual-simplex pivots. The pivots/op and warm-hit metrics quantify the
+// saving over the cold search above.
+func BenchmarkMinFeasibleTWarm(b *testing.B) {
+	in := benchInstance(b, 24)
+	ctx := context.Background()
+	ws := relax.NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		T, _, err := relax.MinFeasibleTWS(ctx, in, ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if T <= 0 {
+			b.Fatalf("T* = %d", T)
+		}
+	}
+	b.StopTimer()
+	st := ws.Stats()
+	if st.Probes > 0 {
+		b.ReportMetric(float64(st.LP.Pivots)/float64(b.N), "pivots/op")
+		b.ReportMetric(float64(st.LP.WarmHits)/float64(st.LP.Solves), "warmhit-ratio")
 	}
 }

@@ -102,16 +102,38 @@ func (fr *Fractional) SingletonOnly(in *model.Instance, tol float64) bool {
 // internal/approx) that continue with further LP solves on other
 // problems.
 type Workspace struct {
-	LP    *lp.Workspace
-	prob  lp.Problem
-	pairs [][2]int
-	index []int32 // (s*n+j) → LP variable index + 1; 0 = no variable
-	idx   []int   // constraint scratch, copied by AddConstraint
-	val   []float64
+	LP     *lp.Workspace
+	prob   lp.Problem
+	pairs  [][2]int
+	index  []int32 // (s*n+j) → LP variable index + 1; 0 = no variable
+	idx    []int   // constraint scratch, copied by AddConstraint
+	val    []float64
+	keys   []uint64 // variable identity keys (s·n+j), for warm subset matching
+	probes int      // LP feasibility probes served by this workspace
 }
 
 // NewWorkspace returns a Workspace ready for the WS entry points.
 func NewWorkspace() *Workspace { return &Workspace{LP: lp.NewWorkspace()} }
+
+// Stats aggregates solver effort across the workspace's lifetime: how
+// many feasibility probes ran and what they cost at the simplex level,
+// including how many were answered from a warm basis. Binary searches
+// that warm-start pivot strictly less here at identical verdicts.
+type Stats struct {
+	Probes int         // LP feasibility probes (verdicts and witnesses)
+	LP     lp.Counters // simplex effort underneath the probes
+}
+
+// Stats snapshots the workspace counters.
+func (ws *Workspace) Stats() Stats {
+	return Stats{Probes: ws.probes, LP: ws.LP.Stats()}
+}
+
+// ResetStats zeroes the workspace counters.
+func (ws *Workspace) ResetStats() {
+	ws.probes = 0
+	ws.LP.ResetStats()
+}
 
 // BuildFeasibility constructs the LP relaxation of (IP-3) for makespan T.
 // It returns the problem plus the (set, job) pair of each LP variable.
@@ -140,6 +162,14 @@ func buildFeasibilityWS(in *model.Instance, T int64, ws *Workspace) {
 		}
 	}
 	ws.prob.Reset(len(ws.pairs))
+	// Keys identify variables across probes at different T: as T shrinks,
+	// pruning removes variables but the survivors keep their (s, j) key,
+	// letting the LP workspace warm-start from a larger probe's basis.
+	ws.keys = ws.keys[:0]
+	for _, pr := range ws.pairs {
+		ws.keys = append(ws.keys, uint64(pr[0])*uint64(n)+uint64(pr[1]))
+	}
+	ws.prob.SetVarKeys(ws.keys)
 	// (3): Σ_α x_αj = 1 for every job.
 	for j := 0; j < n; j++ {
 		ws.idx, ws.val = ws.idx[:0], ws.val[:0]
@@ -186,6 +216,10 @@ func FeasibleWS(ctx context.Context, in *model.Instance, T int64, ws *Workspace)
 	if ws == nil {
 		ws = NewWorkspace()
 	}
+	// Witness solves run cold: the Fractional returned here feeds rounding
+	// and the golden outputs, which pin the cold path's vertex byte for
+	// byte. Warm start only ever accelerates verdict-only probes.
+	ws.LP.InvalidateWarmStart()
 	ok, x, err := feasibleWS(ctx, in, T, ws)
 	if err != nil || !ok {
 		return false, nil, err
@@ -195,6 +229,20 @@ func FeasibleWS(ctx context.Context, in *model.Instance, T int64, ws *Workspace)
 		fr.X[pr[0]][pr[1]] = x[k]
 	}
 	return true, fr, nil
+}
+
+// ProbeFeasibleWS reports whether the relaxation is feasible at T
+// without materializing a witness. Unlike FeasibleWS it keeps the
+// workspace's warm basis: a sequence of probes on one workspace answers
+// from dual-simplex re-entry whenever it can. Use it when only the
+// verdict matters; ask FeasibleWS when the fractional solution itself is
+// needed (that path is always cold, so witnesses are reproducible).
+func ProbeFeasibleWS(ctx context.Context, in *model.Instance, T int64, ws *Workspace) (bool, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ok, _, err := feasibleWS(ctx, in, T, ws)
+	return ok, err
 }
 
 // feasibleWS is the probe shared by FeasibleWS and the binary search: it
@@ -207,6 +255,7 @@ func feasibleWS(ctx context.Context, in *model.Instance, T int64, ws *Workspace)
 			return false, nil, nil
 		}
 	}
+	ws.probes++
 	buildFeasibilityWS(in, T, ws)
 	ok, x, err := ws.prob.FeasibleWS(ctx, ws.LP)
 	if err != nil {

@@ -344,6 +344,45 @@ func TestHandlerHealthAndStats(t *testing.T) {
 	}
 }
 
+// TestStatsSolverCounters drives one LP and one exact request and checks
+// that the warm-start and DFS effort counters reach /statsz: the daemon
+// is where pivot/probe rates get monitored in production, so a counter
+// that never moves is a wiring bug, not a cosmetic one.
+func TestStatsSolverCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, algo := range []string{AlgoLP, AlgoExact} {
+		body, _ := json.Marshal(&Request{Algo: algo, Instance: instanceJSON(t)})
+		status, b, _ := post(t, ts.URL+"/v1/solve", body)
+		if status != http.StatusOK {
+			t.Fatalf("%s status %d: %s", algo, status, b)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.LPProbes == 0 || st.LPSolves == 0 || st.LPColdSolves == 0 || st.LPPivots == 0 {
+		t.Fatalf("LP effort counters did not move: %+v", st)
+	}
+	if st.LPWarmHits == 0 {
+		t.Fatalf("no warm hits across a binary search — warm start is not engaging in the daemon: %+v", st)
+	}
+	if st.LPSolves != st.LPColdSolves+st.LPWarmHits {
+		t.Fatalf("solve counter imbalance: %d != %d + %d", st.LPSolves, st.LPColdSolves, st.LPWarmHits)
+	}
+	if st.ExactProbes == 0 || st.ExactCanonical == 0 {
+		t.Fatalf("exact effort counters did not move: %+v", st)
+	}
+	if st.ExactVisited > st.ExactCanonical {
+		t.Fatalf("visited %d exceeds canonical %d", st.ExactVisited, st.ExactCanonical)
+	}
+}
+
 func TestStatusFor(t *testing.T) {
 	cases := []struct {
 		err  error

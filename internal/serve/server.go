@@ -87,7 +87,11 @@ type task struct {
 	done chan []Result // buffered(1); the worker always answers
 }
 
-// Stats is a monotonic-counter snapshot plus instantaneous gauges.
+// Stats is a monotonic-counter snapshot plus instantaneous gauges. The
+// lp_*/exact_* counters aggregate solver effort across all workers
+// (folded in after each task from the per-worker workspace counters):
+// they expose how much of the fleet's LP work is answered from warm
+// bases and how much branch-and-bound work probes actually expand.
 type Stats struct {
 	Workers    int    `json:"workers"`
 	QueueDepth int    `json:"queue_depth"`
@@ -97,6 +101,17 @@ type Stats struct {
 	Shed       uint64 `json:"shed"`     // 429s: queue was full
 	Canceled   uint64 `json:"canceled"` // context died before or during solve
 	Failed     uint64 `json:"failed"`   // solver or request errors
+
+	LPProbes       uint64 `json:"lp_probes"`       // LP feasibility probes (binary searches)
+	LPSolves       uint64 `json:"lp_solves"`       // simplex solves underneath the probes
+	LPColdSolves   uint64 `json:"lp_cold_solves"`  // answered by two-phase simplex
+	LPWarmHits     uint64 `json:"lp_warm_hits"`    // answered from a retained basis
+	LPSubsetHits   uint64 `json:"lp_subset_hits"`  // warm hits via variable-subset mapping
+	LPPivots       uint64 `json:"lp_pivots"`       // total simplex pivots
+	LPWarmPivots   uint64 `json:"lp_warm_pivots"`  // dual pivots inside warm hits
+	ExactProbes    uint64 `json:"exact_probes"`    // DFS feasibility probes
+	ExactVisited   uint64 `json:"exact_visited"`   // DFS nodes actually expanded
+	ExactCanonical uint64 `json:"exact_canonical"` // canonical-tree nodes (node-cap currency)
 }
 
 // Server owns the worker pool and the bounded admission queue. Create
@@ -110,6 +125,9 @@ type Server struct {
 	wg      sync.WaitGroup
 
 	accepted, completed, shed, canceled, failed atomic.Uint64
+
+	lpProbes, lpSolves, lpColdSolves, lpWarmHits, lpSubsetHits,
+	lpPivots, lpWarmPivots, exactProbes, exactVisited, exactCanonical atomic.Uint64
 
 	// run is the per-request unit of work; tests may replace it before
 	// the first submit to make worker occupancy deterministic.
@@ -157,7 +175,59 @@ func (s *Server) Stats() Stats {
 		Shed:       s.shed.Load(),
 		Canceled:   s.canceled.Load(),
 		Failed:     s.failed.Load(),
+
+		LPProbes:       s.lpProbes.Load(),
+		LPSolves:       s.lpSolves.Load(),
+		LPColdSolves:   s.lpColdSolves.Load(),
+		LPWarmHits:     s.lpWarmHits.Load(),
+		LPSubsetHits:   s.lpSubsetHits.Load(),
+		LPPivots:       s.lpPivots.Load(),
+		LPWarmPivots:   s.lpWarmPivots.Load(),
+		ExactProbes:    s.exactProbes.Load(),
+		ExactVisited:   s.exactVisited.Load(),
+		ExactCanonical: s.exactCanonical.Load(),
 	}
+}
+
+// solverTotals is one worker's cumulative solver effort, read from its
+// workspace counters. Workers fold task-to-task deltas into the server
+// atomics; a retired (panicked) workspace forfeits its unreported tail.
+type solverTotals struct {
+	lpProbes, lpSolves, lpCold, lpWarmHits, lpSubsetHits int
+	lpPivots, lpWarmPivots                               int
+	exactProbes, exactVisited, exactCanonical            int
+}
+
+func totalsOf(ws *Workspaces) solverTotals {
+	rs := ws.Relax.Stats()
+	es := ws.Exact.Stats()
+	return solverTotals{
+		lpProbes:       rs.Probes + es.Relax.Probes,
+		lpSolves:       rs.LP.Solves + es.Relax.LP.Solves,
+		lpCold:         rs.LP.ColdSolves + es.Relax.LP.ColdSolves,
+		lpWarmHits:     rs.LP.WarmHits + es.Relax.LP.WarmHits,
+		lpSubsetHits:   rs.LP.SubsetHits + es.Relax.LP.SubsetHits,
+		lpPivots:       rs.LP.Pivots + es.Relax.LP.Pivots,
+		lpWarmPivots:   rs.LP.WarmPivots + es.Relax.LP.WarmPivots,
+		exactProbes:    es.Probes,
+		exactVisited:   es.Visited,
+		exactCanonical: es.Canonical,
+	}
+}
+
+// addSolverDelta folds the effort since the last snapshot into the
+// server-wide counters.
+func (s *Server) addSolverDelta(cur, last solverTotals) {
+	s.lpProbes.Add(uint64(cur.lpProbes - last.lpProbes))
+	s.lpSolves.Add(uint64(cur.lpSolves - last.lpSolves))
+	s.lpColdSolves.Add(uint64(cur.lpCold - last.lpCold))
+	s.lpWarmHits.Add(uint64(cur.lpWarmHits - last.lpWarmHits))
+	s.lpSubsetHits.Add(uint64(cur.lpSubsetHits - last.lpSubsetHits))
+	s.lpPivots.Add(uint64(cur.lpPivots - last.lpPivots))
+	s.lpWarmPivots.Add(uint64(cur.lpWarmPivots - last.lpWarmPivots))
+	s.exactProbes.Add(uint64(cur.exactProbes - last.exactProbes))
+	s.exactVisited.Add(uint64(cur.exactVisited - last.exactVisited))
+	s.exactCanonical.Add(uint64(cur.exactCanonical - last.exactCanonical))
 }
 
 // Submit enqueues the requests as one task and waits for the answers
@@ -204,6 +274,7 @@ func (s *Server) Submit(ctx context.Context, reqs []*Request) ([]Result, error) 
 func (s *Server) worker() {
 	defer s.wg.Done()
 	ws := NewWorkspaces()
+	var last solverTotals
 	for t := range s.queue {
 		results := make([]Result, len(t.reqs))
 		for i, req := range t.reqs {
@@ -213,8 +284,12 @@ func (s *Server) worker() {
 				// A panic may have left the pooled solver state
 				// half-mutated; start the next request from scratch.
 				ws = NewWorkspaces()
+				last = solverTotals{}
 			}
 		}
+		cur := totalsOf(ws)
+		s.addSolverDelta(cur, last)
+		last = cur
 		t.done <- results
 	}
 }

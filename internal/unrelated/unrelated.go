@@ -67,6 +67,12 @@ func (in *Instance) minProc(j int) (int64, int) {
 // Workspace lets further solves reuse one tableau (nil falls back to the
 // solver's internal pool).
 func FeasibleLPWS(ctx context.Context, in *Instance, T int64, ws *lp.Workspace) (bool, [][]float64, error) {
+	if ws != nil {
+		// Witness solves run cold: the vertex returned here feeds rounding
+		// and the golden outputs. Warm start only accelerates the
+		// verdict-only probes inside MinFeasibleTWS.
+		ws.InvalidateWarmStart()
+	}
 	return feasibleLP(ctx, in, T, &lpScratch{ws: ws})
 }
 
@@ -95,6 +101,7 @@ type lpScratch struct {
 	index []int32 // j*m+i → LP variable index + 1; 0 = no variable
 	idx   []int
 	val   []float64
+	keys  []uint64 // variable identity keys (j·m+i), for warm subset matching
 }
 
 // feasibleLP builds and solves the relaxation at T using sc's arenas.
@@ -117,6 +124,14 @@ func feasibleLP(ctx context.Context, in *Instance, T int64, sc *lpScratch) (bool
 		}
 	}
 	sc.prob.Reset(len(sc.pairs))
+	// Keys identify variables across probes at different T, so a probe
+	// whose variable set shrank still warm-starts from a larger probe's
+	// retained basis (subset matching in internal/lp).
+	sc.keys = sc.keys[:0]
+	for _, pr := range sc.pairs {
+		sc.keys = append(sc.keys, uint64(pr.j)*uint64(m)+uint64(pr.i))
+	}
+	sc.prob.SetVarKeys(sc.keys)
 	for j := 0; j < n; j++ {
 		sc.idx, sc.val = sc.idx[:0], sc.val[:0]
 		for i := 0; i < m; i++ {
@@ -191,6 +206,9 @@ func MinFeasibleTWS(ctx context.Context, in *Instance, ws *lp.Workspace) (int64,
 			lo = mid + 1
 		}
 	}
+	// The witness at T* is re-solved cold: probes may answer from a warm
+	// basis, but the returned vertex must be the cold path's, bit for bit.
+	ws.InvalidateWarmStart()
 	if best == nil {
 		ok, x, err := feasibleLP(ctx, in, lo, sc)
 		if err != nil {

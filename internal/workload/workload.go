@@ -74,10 +74,21 @@ type Config struct {
 func (c Config) family() (*laminar.Family, error) {
 	switch c.Topology {
 	case Flat:
+		if c.Machines <= 0 {
+			return nil, fmt.Errorf("workload: flat topology needs machines, got %d", c.Machines)
+		}
 		return laminar.Flat(c.Machines), nil
 	case Singletons:
+		if c.Machines <= 0 {
+			return nil, fmt.Errorf("workload: singleton topology needs machines, got %d", c.Machines)
+		}
 		return laminar.Singletons(c.Machines), nil
 	case SemiPartitioned:
+		// m = 1 would make the global set identical to the lone singleton,
+		// which is not a valid laminar family — reject rather than panic.
+		if c.Machines < 2 {
+			return nil, fmt.Errorf("workload: semi-partitioned topology needs ≥ 2 machines, got %d", c.Machines)
+		}
 		return laminar.SemiPartitioned(c.Machines), nil
 	case Clustered:
 		return laminar.Clustered(c.Clusters, c.ClusterSize)
