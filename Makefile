@@ -47,6 +47,7 @@ bench-quick:
 bench-packs:
 	$(GO) run ./cmd/hbench -quick -parallel -pack rt -json -bench-out BENCH_hbench.json
 	$(GO) run ./cmd/hbench -quick -parallel -pack memcap -json -bench-out BENCH_hbench.json
+	$(GO) run ./cmd/hbench -quick -parallel -pack dag -json -bench-out BENCH_hbench.json
 
 # Sharded suite execution. Each shard process derives the same
 # deterministic plan — cost-balanced (LPT) from the committed trajectory
@@ -102,29 +103,37 @@ bench-hot:
 # for a few seconds, and fail on zero successful answers, any outright
 # failure, or any paper-guarantee claim violation in the responses
 # (hspd -loadtest exits nonzero on all three). The latency summary lands
-# in $(SMOKE_OUT) for the CI artifact upload.
+# in $(SMOKE_OUT) for the CI artifact upload, and the run appends a
+# drift-checked record to the BENCH_hspd.json trajectory — the gate only
+# trips on catastrophic regressions (factor HSPD_DRIFT_FAIL) because CI
+# machine speed varies run to run.
 SMOKE_OUT ?= out/hspd
 SMOKE_DURATION ?= 3s
+HSPD_DRIFT_FAIL ?= 25
 
 hspd-smoke:
 	@mkdir -p $(SMOKE_OUT)
 	$(GO) build -o $(SMOKE_OUT)/hspd ./cmd/hspd
 	$(SMOKE_OUT)/hspd -loadtest -duration $(SMOKE_DURATION) -concurrency 8 \
-		-summary $(SMOKE_OUT)/latency.json
+		-summary $(SMOKE_OUT)/latency.json \
+		-bench-out BENCH_hspd.json -drift-fail $(HSPD_DRIFT_FAIL)
 
 # Coverage-guided fuzzing smoke: a short budget per target on every CI
 # run (regression corpus under testdata/fuzz always runs with plain
 # `go test`; this adds fresh exploration). The properties fuzzed are the
 # warm-start safety contract: warm/cold verdict+objective agreement and
 # feasibility on arbitrary LPs, and warm/cold T* equality plus verdict
-# monotonicity around T* for the relaxation's binary search. Targets run
-# one at a time — go test allows a single -fuzz pattern per package.
+# monotonicity around T* for the relaxation's binary search — plus the
+# DAG-task wire format (decode/validate/canonical re-encode stability and
+# the compile certificate on every accepted input). Targets run one at a
+# time — go test allows a single -fuzz pattern per package.
 FUZZTIME ?= 10s
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzLPSolve' -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz 'FuzzLPWarmObjective' -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz 'FuzzMinFeasibleT' -fuzztime $(FUZZTIME) ./internal/relax
+	$(GO) test -run '^$$' -fuzz 'FuzzDAGDecode' -fuzztime $(FUZZTIME) ./internal/dag
 
 PROFILE_OUT ?= out/profile
 

@@ -33,6 +33,7 @@ func TestGoldenByteIdentity(t *testing.T) {
 		{"paper", "golden_quick_paper.jsonl"},
 		{"rt", "golden_quick_rt.jsonl"},
 		{"memcap", "golden_quick_memcap.jsonl"},
+		{"dag", "golden_quick_dag.jsonl"},
 	} {
 		t.Run(tc.pack, func(t *testing.T) {
 			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))

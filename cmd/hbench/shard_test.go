@@ -66,7 +66,7 @@ func mergeShards(t *testing.T, shardFiles []string, extra ...string) ([]byte, st
 // The acceptance criterion: sharded runs of each pack, merged, are
 // byte-identical to the single-process sequential -json run.
 func TestShardMergeByteIdenticalPerPack(t *testing.T) {
-	packs := []string{"rt", "memcap"}
+	packs := []string{"rt", "memcap", "dag"}
 	if !testing.Short() {
 		packs = append(packs, "paper")
 	}

@@ -1,14 +1,19 @@
-// Command hgen generates synthetic hierarchical scheduling instances as
-// JSON on stdout, for consumption by hsched.
+// Command hgen generates synthetic workloads as JSON on stdout, for
+// consumption by hsched and hspd.
 //
 // Usage:
 //
 //	hgen -topology smp-cmp -branching 2,2,2 -jobs 24 -seed 7 \
 //	     -min-work 10 -max-work 100 -overhead 0.3 -spread 0.5 > inst.json
+//	hgen -topology dag -machines 4 -jobs 40 -layers 5 -edge-prob 0.3 \
+//	     -min-mem 1 -max-mem 8 > task.json
 //
 // Topologies: flat, singletons, semi-partitioned, clustered, smp-cmp,
-// random. clustered uses -clusters/-cluster-size; smp-cmp uses -branching;
-// the rest use -machines.
+// random (alias random-laminar), dag. clustered uses
+// -clusters/-cluster-size; smp-cmp uses -branching; dag emits the DAG
+// task schema (nodes with work/memory, precedence edges) instead of an
+// instance, using -jobs as the node count plus the -layers/-edge-prob/
+// -min-mem/-max-mem/-mem-budget family; the rest use -machines.
 package main
 
 import (
@@ -22,6 +27,12 @@ import (
 	"hsp"
 )
 
+// topologies enumerates the accepted -topology values, in help order.
+var topologies = []string{
+	"flat", "singletons", "semi-partitioned", "clustered", "smp-cmp",
+	"random", "random-laminar", "dag",
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "hgen: %v\n", err)
@@ -29,24 +40,71 @@ func main() {
 	}
 }
 
+func parseBranching(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -branching %q: %w", s, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hgen", flag.ContinueOnError)
 	var (
-		topology    = fs.String("topology", "semi-partitioned", "flat | singletons | semi-partitioned | clustered | smp-cmp | random")
-		machines    = fs.Int("machines", 4, "machine count (flat/singletons/semi-partitioned/random)")
+		topology    = fs.String("topology", "semi-partitioned", strings.Join(topologies, " | "))
+		machines    = fs.Int("machines", 4, "machine count (flat/singletons/semi-partitioned/random/dag)")
 		clusters    = fs.Int("clusters", 2, "cluster count (clustered)")
 		clusterSize = fs.Int("cluster-size", 2, "machines per cluster (clustered)")
-		branching   = fs.String("branching", "2,2,2", "hierarchy branching factors (smp-cmp)")
-		jobs        = fs.Int("jobs", 16, "job count")
+		branching   = fs.String("branching", "2,2,2", "hierarchy branching factors (smp-cmp; optional for dag)")
+		jobs        = fs.Int("jobs", 16, "job count (dag: node count)")
 		seed        = fs.Int64("seed", 1, "random seed (deterministic)")
 		minWork     = fs.Int64("min-work", 5, "minimum base work")
 		maxWork     = fs.Int64("max-work", 50, "maximum base work")
 		overhead    = fs.Float64("overhead", 0.3, "migration overhead per hierarchy level")
 		spread      = fs.Float64("spread", 0.3, "machine speed heterogeneity in [1, 1+spread]")
 		pin         = fs.Float64("pin", 0, "fraction of jobs pinned to a random subtree")
+
+		layers      = fs.Int("layers", 0, "dag: layer count (0 = ≈√nodes)")
+		edgeProb    = fs.Float64("edge-prob", 0.3, "dag: adjacent-layer edge probability")
+		minMem      = fs.Int64("min-mem", 1, "dag: minimum node live memory")
+		maxMem      = fs.Int64("max-mem", 8, "dag: maximum node live memory (0 = memory-free)")
+		memBudget   = fs.Int64("mem-budget", 0, "dag: per-segment maxLive budget (0 = derive)")
+		budgetSlack = fs.Float64("budget-slack", 0, "dag: derived-budget slack factor (0 = 1.5)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	branchingSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "branching" {
+			branchingSet = true
+		}
+	})
+
+	if *topology == "dag" {
+		cfg := hsp.DAGConfig{
+			Machines: *machines,
+			Nodes:    *jobs, Layers: *layers, EdgeProb: *edgeProb, Seed: *seed,
+			MinWork: *minWork, MaxWork: *maxWork,
+			MinMem: *minMem, MaxMem: *maxMem,
+			MemBudget: *memBudget, BudgetSlack: *budgetSlack,
+		}
+		if branchingSet {
+			b, err := parseBranching(*branching)
+			if err != nil {
+				return err
+			}
+			cfg.Branching = b
+		}
+		task, err := hsp.GenerateDAG(cfg)
+		if err != nil {
+			return fmt.Errorf("generate: %w", err)
+		}
+		return hsp.EncodeDAG(stdout, task)
 	}
 
 	cfg := hsp.WorkloadConfig{
@@ -65,17 +123,15 @@ func run(args []string, stdout io.Writer) error {
 		cfg.Topology = hsp.TopoClustered
 	case "smp-cmp":
 		cfg.Topology = hsp.TopoSMPCMP
-		for _, part := range strings.Split(*branching, ",") {
-			b, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				return fmt.Errorf("bad -branching %q: %w", *branching, err)
-			}
-			cfg.Branching = append(cfg.Branching, b)
+		b, err := parseBranching(*branching)
+		if err != nil {
+			return err
 		}
-	case "random":
+		cfg.Branching = b
+	case "random", "random-laminar":
 		cfg.Topology = hsp.TopoRandomLaminar
 	default:
-		return fmt.Errorf("unknown topology %q", *topology)
+		return fmt.Errorf("unknown topology %q (valid: %s)", *topology, strings.Join(topologies, ", "))
 	}
 
 	in, err := hsp.GenerateWorkload(cfg)

@@ -16,6 +16,7 @@ func TestRunGeneratesDecodableInstances(t *testing.T) {
 		{"-topology", "clustered", "-clusters", "2", "-cluster-size", "3", "-jobs", "6"},
 		{"-topology", "smp-cmp", "-branching", "2,2", "-jobs", "6"},
 		{"-topology", "random", "-machines", "5", "-jobs", "6", "-pin", "0.5"},
+		{"-topology", "random-laminar", "-machines", "5", "-jobs", "6"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
@@ -52,12 +53,83 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-topology", "smp-cmp", "-branching", "2,x"},
 		{"-topology", "flat", "-jobs", "0"},
 		{"-topology", "flat", "-min-work", "9", "-max-work", "2"},
+		{"-topology", "dag", "-jobs", "0"},
+		{"-topology", "dag", "-edge-prob", "2"},
+		{"-topology", "dag", "-branching", "3,3"}, // 9 ≠ -machines 4
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
 		if err := run(args, &out); err == nil {
 			t.Fatalf("%v accepted", args)
 		}
+	}
+}
+
+func TestUnknownTopologyEnumeratesNames(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-topology", "nope"}, &out)
+	if err == nil {
+		t.Fatal("accepted unknown topology")
+	}
+	for _, name := range topologies {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not mention %q", err, name)
+		}
+	}
+}
+
+func TestRandomLaminarAliasMatchesRandom(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-topology", "random", "-machines", "5", "-jobs", "6", "-seed", "3"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topology", "random-laminar", "-machines", "5", "-jobs", "6", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("random-laminar alias diverged from random")
+	}
+}
+
+func TestRunGeneratesDecodableDAG(t *testing.T) {
+	args := []string{"-topology", "dag", "-machines", "4", "-jobs", "30", "-layers", "5", "-seed", "2"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	first := out.String()
+	task, err := hsp.DecodeDAG(strings.NewReader(first))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(task.Nodes) != 30 {
+		t.Fatalf("got %d nodes, want 30", len(task.Nodes))
+	}
+	if task.MemBudget <= 0 {
+		t.Fatalf("expected a derived memory budget")
+	}
+	if _, err := hsp.CompileDAG(task); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+
+	// Determinism, and -branching shaping the compiled family.
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if first != again.String() {
+		t.Fatal("same seed produced different DAG output")
+	}
+	var shaped bytes.Buffer
+	if err := run(append(args, "-branching", "2,2"), &shaped); err != nil {
+		t.Fatal(err)
+	}
+	st, err := hsp.DecodeDAG(&shaped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Branching) != 2 {
+		t.Fatalf("branching not carried: %+v", st.Branching)
 	}
 }
 

@@ -9,7 +9,13 @@
 //	hsched -algo best     < inst.json     # 2approx + heuristic improvement
 //	hsched -algo exact    < inst.json     # branch and bound (small n)
 //	hsched -algo lp       < inst.json     # LP lower bound only
+//	hsched -algo dag      < task.json     # DAG task via the scenario layer
 //	hsched -gantt         < inst.json     # also draw the schedule
+//
+// Scenario algos ("dag", "rigid") read that scenario's own document —
+// for dag, the task schema `hgen -topology dag` emits — compile it down
+// to a rigid instance, and solve with the "best" pipeline, reporting
+// the scenario's certified bound alongside the LP certificate.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"os"
 
 	"hsp"
+	"hsp/internal/scenario"
 	"hsp/internal/serve"
 )
 
@@ -33,7 +40,7 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hsched", flag.ContinueOnError)
 	var (
-		algo    = fs.String("algo", "2approx", "2approx | best | exact | lp")
+		algo    = fs.String("algo", "2approx", "2approx | best | exact | lp | dag | rigid")
 		input   = fs.String("input", "", "instance file (default stdin)")
 		gantt   = fs.Bool("gantt", false, "print an ASCII Gantt chart")
 		stats   = fs.Bool("stats", true, "print migration/preemption counts")
@@ -53,6 +60,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer f.Close()
 		r = f
 	}
+	if desc, ok := scenario.Lookup(*algo); ok {
+		return runScenario(desc, r, stdout, *gantt, *stats, *jsonOut, *svgOut)
+	}
+
 	in, err := hsp.DecodeInstance(r)
 	if err != nil {
 		return err
@@ -83,6 +94,39 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	return writeJSON(*jsonOut, stdout, out.Schedule)
+}
+
+// runScenario is the scenario-algo path: decode the scenario's own
+// document, compile it down to the rigid core, solve with the "best"
+// pipeline and report the certified bound.
+func runScenario(desc scenario.Descriptor, r io.Reader, stdout io.Writer, gantt, stats bool, jsonOut, svgOut string) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	wl, err := desc.Decode(data)
+	if err != nil {
+		return err
+	}
+	out, err := serve.RunScenario(context.Background(), wl, &serve.Request{Algo: desc.Name}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "scenario %s: compiled to %d segments on %d machines (%d admissible sets, maxLive %d)\n",
+		out.Scenario, out.Segments, out.Instance.M(), out.Instance.Family.Len(), out.MaxLive)
+	if out.ScenarioLB > 0 {
+		fmt.Fprintf(stdout, "makespan = %d  (scenario LB = %d; guarantee ≤ 2·LB = %d; LP T* = %d)\n",
+			out.Makespan, out.ScenarioLB, 2*out.ScenarioLB, out.LPBound)
+	} else {
+		fmt.Fprintf(stdout, "makespan = %d  (LP bound T* = %d; guarantee ≤ 2·T* = %d)\n",
+			out.Makespan, out.LPBound, 2*out.LPBound)
+	}
+	printAssignment(stdout, out.Instance, out.Assignment)
+	report(stdout, out.Schedule, gantt, stats)
+	if err := writeSVG(svgOut, out.Schedule); err != nil {
+		return err
+	}
+	return writeJSON(jsonOut, stdout, out.Schedule)
 }
 
 // writeSVG renders the schedule to the named file ("" = skip).

@@ -116,6 +116,7 @@ func TestGoldenOutputs(t *testing.T) {
 		{"clustered12.json", "golden_cl_2approx.txt", []string{"-algo", "2approx"}},
 		{"clustered12.json", "golden_cl_best.txt", []string{"-algo", "best"}},
 		{"clustered12.json", "golden_cl_exact.txt", []string{"-algo", "exact"}},
+		{"dag_task.json", "golden_dag.txt", []string{"-algo", "dag"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.golden, func(t *testing.T) {
@@ -136,6 +137,45 @@ func TestGoldenOutputs(t *testing.T) {
 					tc.golden, out.Bytes(), want)
 			}
 		})
+	}
+}
+
+// dagTaskJSON returns a small deterministic DAG-task document.
+func dagTaskJSON(t *testing.T) string {
+	t.Helper()
+	task, err := hsp.GenerateDAG(hsp.DAGConfig{
+		Machines: 4, Nodes: 24, Layers: 4, EdgeProb: 0.4, Seed: 11,
+		MinWork: 2, MaxWork: 12, MinMem: 1, MaxMem: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := hsp.EncodeDAG(&buf, task); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRunDAG(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "dag"}, strings.NewReader(dagTaskJSON(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"scenario dag:", "scenario LB =", "guarantee ≤ 2·LB"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunDAGRejectsBadTask(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-algo", "dag"},
+		strings.NewReader(`{"machines":2,"nodes":[{"work":1},{"work":1}],"edges":[[0,1],[1,0]]}`), &out)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cyclic task accepted: %v", err)
 	}
 }
 

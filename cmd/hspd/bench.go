@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// loadDrift compares a loadtest run against the previous -bench-out
+// record with the same key, mirroring hbench's trajectory gate.
+// Correctness is gated elsewhere (claim failures exit nonzero on their
+// own); drift watches the latency/throughput trajectory. Ratios are
+// informational by default because CI machines differ run to run; with
+// a -drift-fail factor set, a p99 blow-up or QPS collapse beyond the
+// factor marks the run regressed and the loadtest exits nonzero.
+type loadDrift struct {
+	Against string `json:"against"` // Time of the compared record
+	// P99Ratio is this run's p99 over the previous run's (>1 = slower).
+	P99Ratio float64 `json:"p99_ratio,omitempty"`
+	// QPSRatio is this run's sustained QPS over the previous run's
+	// (<1 = less throughput).
+	QPSRatio  float64 `json:"qps_ratio,omitempty"`
+	Regressed bool    `json:"regressed"`
+}
+
+// summaryKey identifies comparable loadtest runs: same traffic mix
+// (seed and probe set), same offered concurrency and duration class.
+// Worker count and machine speed are recorded in the summary but kept
+// out of the key — they are what the trajectory is watching.
+func summaryKey(seed int64, concurrency int) string {
+	return fmt.Sprintf("hspd-loadtest|seed=%d|concurrency=%d", seed, concurrency)
+}
+
+// checkDrift fills sum.Drift against the last record with the same key
+// in the trajectory file and returns human-readable drift lines.
+// failRatio ≤ 0 reports without gating.
+func checkDrift(path string, sum *loadSummary, failRatio float64) ([]string, error) {
+	prev, err := lastSummary(path, sum.Key)
+	if err != nil {
+		return nil, err
+	}
+	if prev == nil {
+		return nil, nil
+	}
+	d := &loadDrift{Against: prev.Time}
+	if prev.P99MS > 0 {
+		d.P99Ratio = sum.P99MS / prev.P99MS
+	}
+	if prev.QPS > 0 {
+		d.QPSRatio = sum.QPS / prev.QPS
+	}
+	var lines []string
+	if d.P99Ratio > 0 {
+		lines = append(lines, fmt.Sprintf("p99 %.2fms vs %.2fms (%.2fx) against record of %s",
+			sum.P99MS, prev.P99MS, d.P99Ratio, prev.Time))
+	}
+	if d.QPSRatio > 0 {
+		lines = append(lines, fmt.Sprintf("QPS %.1f vs %.1f (%.2fx)", sum.QPS, prev.QPS, d.QPSRatio))
+	}
+	if failRatio > 0 {
+		if d.P99Ratio > failRatio {
+			d.Regressed = true
+			lines = append(lines, fmt.Sprintf("p99 regressed beyond the %.0fx gate", failRatio))
+		}
+		if d.QPSRatio > 0 && d.QPSRatio < 1/failRatio {
+			d.Regressed = true
+			lines = append(lines, fmt.Sprintf("QPS regressed beyond the %.0fx gate", failRatio))
+		}
+	}
+	sum.Drift = d
+	return lines, nil
+}
+
+// lastSummary scans the trajectory file for the most recent record with
+// the same key. Missing file = no history; unparsable lines are skipped
+// so one corrupted line cannot brick the trajectory. Lines are read
+// unbounded, matching hbench's reader.
+func lastSummary(path, key string) (*loadSummary, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var last *loadSummary
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			var rec loadSummary
+			if json.Unmarshal(line, &rec) == nil && rec.Key == key {
+				last = &rec
+			}
+		}
+		if err == io.EOF {
+			return last, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}

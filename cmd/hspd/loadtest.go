@@ -27,6 +27,7 @@ type loadConfig struct {
 	url         string // empty = spin an in-process daemon
 	summaryPath string
 	benchOut    string
+	driftFail   float64 // p99/QPS drift gate factor (0 = report only)
 }
 
 // loadSummary is the harness's machine-readable result: one JSON
@@ -36,6 +37,7 @@ type loadSummary struct {
 	Schema        int     `json:"schema"`
 	Time          string  `json:"time"` // RFC 3339 with nanoseconds, UTC
 	Kind          string  `json:"kind"` // "hspd-loadtest"
+	Key           string  `json:"key"`  // trajectory identity, see summaryKey
 	GoVersion     string  `json:"go"`
 	Seed          int64   `json:"seed"`
 	Concurrency   int     `json:"concurrency"`
@@ -52,6 +54,9 @@ type loadSummary struct {
 	P90MS         float64 `json:"p90_ms"`
 	P99MS         float64 `json:"p99_ms"`
 	MaxMS         float64 `json:"max_ms"`
+	// Drift compares against the previous same-key record in the
+	// -bench-out trajectory; nil on the first record of a key.
+	Drift *loadDrift `json:"drift,omitempty"`
 }
 
 // probe is one pre-encoded request template plus its response check: the
@@ -95,6 +100,13 @@ func buildProbes(seed int64) ([]probe, error) {
 	if err != nil {
 		return nil, err
 	}
+	dagTask, err := hsp.GenerateDAG(hsp.DAGConfig{
+		Machines: 4, Nodes: 20, Layers: 4, EdgeProb: 0.4, Seed: seed + 3,
+		MinWork: 2, MaxWork: 12, MinMem: 1, MaxMem: 6,
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	enc := func(in *hsp.Instance) (json.RawMessage, error) {
 		var buf bytes.Buffer
@@ -115,6 +127,11 @@ func buildProbes(seed int64) ([]probe, error) {
 	if err != nil {
 		return nil, err
 	}
+	var dagBuf bytes.Buffer
+	if err := hsp.EncodeDAG(&dagBuf, dagTask); err != nil {
+		return nil, err
+	}
+	dagJSON := json.RawMessage(dagBuf.Bytes())
 
 	mustBody := func(v any) []byte {
 		b, err := json.Marshal(v)
@@ -193,6 +210,23 @@ func buildProbes(seed int64) ([]probe, error) {
 				}
 				if resp.Verdict != "schedulable" {
 					return fmt.Errorf("rt verdict %q, want schedulable", resp.Verdict)
+				}
+				return nil
+			},
+		},
+		{
+			name: "dag/layered", path: "/v1/solve",
+			body: mustBody(&serve.Request{Algo: serve.AlgoDAG, Instance: dagJSON}),
+			check: func(body []byte) error {
+				resp, err := decode(body)
+				if err != nil {
+					return err
+				}
+				if resp.Scenario != "dag" || resp.ScenarioLB <= 0 || resp.Segments <= 0 {
+					return fmt.Errorf("scenario metadata missing: %+v", resp)
+				}
+				if resp.Makespan <= 0 || resp.Makespan > 2*resp.ScenarioLB {
+					return fmt.Errorf("DAG bound violated: makespan=%d LB=%d", resp.Makespan, resp.ScenarioLB)
 				}
 				return nil
 			},
@@ -320,6 +354,7 @@ func runLoadtest(lc loadConfig, stdout, stderr io.Writer) error {
 		Schema:        1,
 		Time:          time.Now().UTC().Format(time.RFC3339Nano),
 		Kind:          "hspd-loadtest",
+		Key:           summaryKey(lc.seed, lc.concurrency),
 		GoVersion:     runtime.Version(),
 		Seed:          lc.seed,
 		Concurrency:   lc.concurrency,
@@ -347,6 +382,17 @@ func runLoadtest(lc loadConfig, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
 		sum.P50MS, sum.P90MS, sum.P99MS, sum.MaxMS)
 
+	if lc.benchOut != "" {
+		// Compare against the previous same-key record before appending
+		// this run, so the trajectory file carries its own drift verdicts.
+		lines, err := checkDrift(lc.benchOut, &sum, lc.driftFail)
+		if err != nil {
+			return fmt.Errorf("loadtest: reading trajectory: %w", err)
+		}
+		for _, line := range lines {
+			fmt.Fprintf(stdout, "drift: %s\n", line)
+		}
+	}
 	if lc.summaryPath != "" {
 		b, err := json.MarshalIndent(&sum, "", "  ")
 		if err != nil {
@@ -369,6 +415,8 @@ func runLoadtest(lc loadConfig, stdout, stderr io.Writer) error {
 		return fmt.Errorf("loadtest: %d requests failed", sum.Failed)
 	case sum.ClaimFailures > 0:
 		return fmt.Errorf("loadtest: %d responses violated their claims", sum.ClaimFailures)
+	case sum.Drift != nil && sum.Drift.Regressed:
+		return fmt.Errorf("loadtest: latency/throughput regressed beyond the %.0fx drift gate", lc.driftFail)
 	}
 	return nil
 }

@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ltURL    = fs.String("url", "", "loadtest: target an already-running daemon (default: in-process)")
 		ltSum    = fs.String("summary", "", "loadtest: write the JSON summary to this file")
 		ltBench  = fs.String("bench-out", "", "loadtest: append the summary to this trajectory file (JSONL)")
+		ltDrift  = fs.Float64("drift-fail", 0, "loadtest: fail when p99 grows (or QPS shrinks) by more than this factor vs the previous same-key -bench-out record (0 = report only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			url:         *ltURL,
 			summaryPath: *ltSum,
 			benchOut:    *ltBench,
+			driftFail:   *ltDrift,
 		}, stdout, stderr)
 	}
 

@@ -38,9 +38,11 @@ package hsp
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"hsp/internal/approx"
+	"hsp/internal/dag"
 	"hsp/internal/exact"
 	"hsp/internal/hier"
 	"hsp/internal/laminar"
@@ -48,6 +50,7 @@ import (
 	"hsp/internal/model"
 	"hsp/internal/relax"
 	"hsp/internal/rt"
+	"hsp/internal/scenario"
 	"hsp/internal/sched"
 	"hsp/internal/semipart"
 	"hsp/internal/sim"
@@ -305,6 +308,53 @@ func RestrictInstance(in *Instance, keep []int) (*Instance, error) {
 
 // GenerateWorkload draws a synthetic instance; deterministic in cfg.Seed.
 func GenerateWorkload(cfg WorkloadConfig) (*Instance, error) { return workload.Generate(cfg) }
+
+// Scenario layer: pluggable workload families that compile down to the
+// rigid laminar core (see internal/scenario). The DAG-task scenario
+// partitions a precedence graph into maxLive-bounded segments and
+// certifies a makespan within 2× of max(critical path, ceil(work/m)).
+type (
+	// ScenarioWorkload is a decoded scenario document: it validates,
+	// compiles to an Instance, and re-encodes canonically.
+	ScenarioWorkload = scenario.Workload
+	// ScenarioCompiled is the lowered form: the rigid instance plus the
+	// scenario's certified lower bound and approximation factor.
+	ScenarioCompiled = scenario.Compiled
+	// DAGTask is a precedence-constrained parallel task.
+	DAGTask = dag.Task
+	// DAGNode is one unit of a DAG task: work plus live memory.
+	DAGNode = dag.Node
+	// DAGPartition is the segment decomposition of a DAG task.
+	DAGPartition = dag.Partition
+	// DAGConfig parameterizes synthetic DAG-task generation.
+	DAGConfig = workload.DAGConfig
+)
+
+// ScenarioNames lists the registered scenarios ("rigid", "dag", ...).
+func ScenarioNames() []string { return scenario.Names() }
+
+// DecodeScenario decodes a workload document for a registered scenario.
+func DecodeScenario(name string, data []byte) (ScenarioWorkload, error) {
+	desc, ok := scenario.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("hsp: unknown scenario %q (have %v)", name, scenario.Names())
+	}
+	return desc.Decode(data)
+}
+
+// GenerateDAG draws a synthetic DAG task; deterministic in cfg.Seed.
+func GenerateDAG(cfg DAGConfig) (*DAGTask, error) { return workload.GenerateDAG(cfg) }
+
+// EncodeDAG writes a DAG task in its canonical JSON schema.
+func EncodeDAG(w io.Writer, t *DAGTask) error { return dag.Encode(w, t) }
+
+// DecodeDAG parses and validates a DAG task from JSON.
+func DecodeDAG(r io.Reader) (*DAGTask, error) { return dag.Decode(r) }
+
+// CompileDAG lowers a DAG task onto the laminar core: segments become
+// rigid jobs, and the result certifies makespan ≤ 2·max(critical path,
+// ceil(total work/m)) for any 2-approximate solve of the instance.
+func CompileDAG(t *DAGTask) (*ScenarioCompiled, error) { return t.Compile() }
 
 // AttachMemory1 draws per-machine sizes and budgets for an instance.
 func AttachMemory1(in *Instance, mc MemoryConfig, seed int64) (*Memory1, error) {

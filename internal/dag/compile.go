@@ -1,0 +1,110 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+
+	"hsp/internal/laminar"
+	"hsp/internal/memcap"
+	"hsp/internal/model"
+	"hsp/internal/scenario"
+)
+
+// Name is the registered scenario name.
+const Name = "dag"
+
+// Scenario implements scenario.Workload.
+func (t *Task) Scenario() string { return Name }
+
+// Encode implements scenario.Workload.
+func (t *Task) Encode(w io.Writer) error { return Encode(w, t) }
+
+// family builds the laminar family the segments compile onto: the
+// configured hierarchy when Branching is set, otherwise the
+// semi-partitioned family (or its m=1 degeneration, the flat family).
+func (t *Task) family() (*laminar.Family, error) {
+	if len(t.Branching) > 0 {
+		return laminar.Hierarchy(t.Branching...)
+	}
+	if t.Machines == 1 {
+		return laminar.Flat(1), nil
+	}
+	return laminar.SemiPartitioned(t.Machines), nil
+}
+
+// Compile implements scenario.Workload: partition the DAG into
+// segments, then emit one rigid job per segment with every laminar set
+// admissible at the segment's sequential work.
+//
+// The compile-time claim chain, certified by Compiled.LowerBound and
+// Factor = 2: let LB = max(critical path, ceil(total work/m)). Every
+// segment's work is ≤ LB by the partitioner's work cap, so assigning
+// all segments to the root set is feasible at makespan max(w_max,
+// ceil(ΣW/m)) ≤ LB (Theorem IV.3's volume condition: vol(root) = ΣW ≤
+// m·LB, and each job fits in the horizon). Hence OPT of the compiled
+// instance is ≤ LB, the LP bound T* is ≤ OPT ≤ LB, and the Section V
+// 2-approximation returns a schedule of makespan ≤ 2·T* ≤ 2·LB. The
+// bound is with respect to the DAG's own lower bound, so it also
+// certifies a 2-approximation against any schedule of the original
+// precedence-constrained task.
+func (t *Task) Compile() (*scenario.Compiled, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := t.Partition()
+	if err != nil {
+		return nil, err
+	}
+	f, err := t.family()
+	if err != nil {
+		return nil, fmt.Errorf("dag: building family: %w", err)
+	}
+	in := model.New(f)
+	for _, seg := range p.Segments {
+		proc := make([]int64, f.Len())
+		for s := range proc {
+			proc[s] = seg.Work
+		}
+		in.AddJob(proc)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("dag: compiled instance invalid: %w", err)
+	}
+	c := &scenario.Compiled{
+		Instance:   in,
+		LowerBound: p.WorkCap,
+		Factor:     2,
+		Segments:   len(p.Segments),
+		MaxLive:    p.MaxLive,
+	}
+	if t.MemBudget > 0 {
+		// Section VI model-1 annotations: one uniform budget per
+		// machine, each segment resident at its maxLive footprint
+		// wherever it runs. Feasible per machine by construction
+		// (every segment's maxLive ≤ budget).
+		budget := make([]int64, f.M())
+		for i := range budget {
+			budget[i] = t.MemBudget
+		}
+		size := make([][]int64, in.N())
+		for j, seg := range p.Segments {
+			row := make([]int64, f.M())
+			for i := range row {
+				row[i] = seg.MaxLive
+			}
+			size[j] = row
+		}
+		c.Memory1 = &memcap.Model1{In: in, Budget: budget, Size: size}
+	}
+	return c, nil
+}
+
+func init() {
+	scenario.Register(scenario.Descriptor{
+		Name:        Name,
+		Description: "DAG tasks partitioned into maxLive-bounded segments compiled onto the laminar core",
+		Decode: func(data []byte) (scenario.Workload, error) {
+			return DecodeBytes(data)
+		},
+	})
+}

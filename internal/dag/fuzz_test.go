@@ -1,0 +1,78 @@
+package dag
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDAGDecode pins the decoder's safety contract: it never crashes on
+// arbitrary bytes, and any input it accepts is a valid task whose
+// canonical encoding is byte-stable (Decode∘Encode∘Decode∘Encode is a
+// fixed point) with dimensions preserved. Accepted tasks of moderate
+// size are additionally compiled, checking the partitioner's structural
+// invariants end to end.
+func FuzzDAGDecode(f *testing.F) {
+	f.Add([]byte(`{"machines":2,"nodes":[{"work":3,"mem":1},{"work":2}],"edges":[[0,1]]}`))
+	f.Add([]byte(`{"machines":4,"branching":[2,2],"mem_budget":8,"nodes":[{"work":5,"mem":4},{"work":1,"mem":2},{"work":2,"mem":8}],"edges":[[0,2],[1,2]]}`))
+	f.Add([]byte(`{"machines":1,"nodes":[{"work":1}]}`))
+	f.Add([]byte(`{"machines":2,"nodes":[{"work":1},{"work":1}],"edges":[[1,0]]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		task, err := DecodeBytes(data)
+		if err != nil {
+			return // rejected inputs only need to not crash
+		}
+		if err := task.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid task: %v", err)
+		}
+		var b1 bytes.Buffer
+		if err := Encode(&b1, task); err != nil {
+			t.Fatalf("encoding an accepted task failed: %v", err)
+		}
+		back, err := DecodeBytes(b1.Bytes())
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v\n%s", err, b1.String())
+		}
+		if len(back.Nodes) != len(task.Nodes) || len(back.Edges) != len(task.Edges) ||
+			back.Machines != task.Machines || back.MemBudget != task.MemBudget {
+			t.Fatalf("round trip changed dimensions: %+v vs %+v", task, back)
+		}
+		var b2 bytes.Buffer
+		if err := Encode(&b2, back); err != nil {
+			t.Fatalf("re-encoding failed: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("canonical encoding not stable:\n%s\nvs\n%s", b1.String(), b2.String())
+		}
+		// Compile small tasks and re-check the partition invariants the
+		// claim chain rests on. The size gate keeps the fuzz loop fast
+		// and memory-bounded.
+		if len(task.Nodes) > 2000 || task.Machines > 256 {
+			return
+		}
+		c, err := task.Compile()
+		if err != nil {
+			t.Fatalf("compiling an accepted task failed: %v", err)
+		}
+		lb, err := task.LowerBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.LowerBound != lb {
+			t.Fatalf("compiled LB %d, task LB %d", c.LowerBound, lb)
+		}
+		if task.MemBudget > 0 && c.MaxLive > task.MemBudget {
+			t.Fatalf("compiled maxLive %d over budget %d", c.MaxLive, task.MemBudget)
+		}
+		var work int64
+		for j := 0; j < c.Instance.N(); j++ {
+			work += c.Instance.Proc[j][0]
+		}
+		if work != task.TotalWork() {
+			t.Fatalf("work not conserved: %d vs %d", work, task.TotalWork())
+		}
+	})
+}

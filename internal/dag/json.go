@@ -1,0 +1,78 @@
+package dag
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// taskJSON is the on-disk DAG schema emitted by `hgen -topology dag`
+// and consumed by the "dag" algo of hsched/hspd.
+type taskJSON struct {
+	Machines  int        `json:"machines"`
+	Branching []int      `json:"branching,omitempty"`
+	MemBudget int64      `json:"mem_budget,omitempty"`
+	Nodes     []nodeJSON `json:"nodes"`
+	Edges     [][2]int   `json:"edges,omitempty"`
+}
+
+type nodeJSON struct {
+	Work int64 `json:"work"`
+	Mem  int64 `json:"mem,omitempty"`
+}
+
+// Encode writes the task as canonical JSON: edges sorted
+// lexicographically, empty optional fields omitted. Decode∘Encode is
+// byte-stable, which the goldens and FuzzDAGDecode pin.
+func Encode(w io.Writer, t *Task) error {
+	tj := taskJSON{Machines: t.Machines, MemBudget: t.MemBudget}
+	if len(t.Branching) > 0 {
+		tj.Branching = append([]int(nil), t.Branching...)
+	}
+	tj.Nodes = make([]nodeJSON, len(t.Nodes))
+	for i, nd := range t.Nodes {
+		tj.Nodes[i] = nodeJSON{Work: nd.Work, Mem: nd.Mem}
+	}
+	if len(t.Edges) > 0 {
+		tj.Edges = append([][2]int(nil), t.Edges...)
+		sort.Slice(tj.Edges, func(i, j int) bool {
+			if tj.Edges[i][0] != tj.Edges[j][0] {
+				return tj.Edges[i][0] < tj.Edges[j][0]
+			}
+			return tj.Edges[i][1] < tj.Edges[j][1]
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tj)
+}
+
+// Decode parses a task from JSON and validates it.
+func Decode(r io.Reader) (*Task, error) {
+	var tj taskJSON
+	if err := json.NewDecoder(r).Decode(&tj); err != nil {
+		return nil, fmt.Errorf("dag: decoding task: %w", err)
+	}
+	t := &Task{Machines: tj.Machines, MemBudget: tj.MemBudget}
+	if len(tj.Branching) > 0 {
+		t.Branching = tj.Branching
+	}
+	t.Nodes = make([]Node, len(tj.Nodes))
+	for i, nd := range tj.Nodes {
+		t.Nodes[i] = Node{Work: nd.Work, Mem: nd.Mem}
+	}
+	if len(tj.Edges) > 0 {
+		t.Edges = tj.Edges
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// DecodeBytes is Decode over a byte slice.
+func DecodeBytes(data []byte) (*Task, error) {
+	return Decode(bytes.NewReader(data))
+}

@@ -1,0 +1,126 @@
+package dag
+
+// The recursive hierarchical partitioner: bisect the topological order
+// into a balanced binary tree, label every tree node with its maxLive
+// metric — the live memory crossing the node's own cut, maximized over
+// the subtree — and emit the maximal subtrees that respect both the
+// memory budget and the work cap. This is the maxLive-bisection idiom
+// of hierarchical graph partitioning (cf. SNIPPETS.md #1): a cut's IO
+// cost is the summed Mem of first-half nodes with a successor in the
+// second half, and maxLive(node) = max(maxLive(first), maxLive(second),
+// IO(cut)).
+
+// Segment is one compiled unit: a contiguous run of the topological
+// order executed sequentially on one laminar set.
+type Segment struct {
+	// Nodes are the member node indices, in topological order.
+	Nodes []int
+	// Work is the summed work — the segment's processing time on every
+	// admissible set.
+	Work int64
+	// MaxLive is the partition-tree maxLive metric of the subtree the
+	// segment was emitted from; ≤ the task's MemBudget when one is set.
+	MaxLive int64
+}
+
+// Partition is the result of cutting a task's topological order.
+type Partition struct {
+	// Order is the deterministic topological order the cuts live on.
+	Order []int
+	// Segments partition Order into contiguous runs.
+	Segments []Segment
+	// MaxLive is the largest segment MaxLive.
+	MaxLive int64
+	// WorkCap is the per-segment work bound the partitioner enforced:
+	// the task's lower bound max(critical path, ceil(total work/m)).
+	WorkCap int64
+}
+
+// ptree is a node of the bisection tree over positions of the order.
+type ptree struct {
+	lo, hi        int // position range [lo, hi)
+	first, second *ptree
+	work          int64 // summed work of the range
+	maxLive       int64 // the maxLive metric of the subtree
+}
+
+// buildTree bisects positions [lo,hi) of order. pos maps node → its
+// position; succ is the adjacency list.
+func buildTree(t *Task, order, pos []int, succ [][]int, lo, hi int) *ptree {
+	n := &ptree{lo: lo, hi: hi}
+	if hi-lo == 1 {
+		nd := t.Nodes[order[lo]]
+		n.work = nd.Work
+		n.maxLive = nd.Mem
+		return n
+	}
+	mid := (lo + hi) / 2
+	n.first = buildTree(t, order, pos, succ, lo, mid)
+	n.second = buildTree(t, order, pos, succ, mid, hi)
+	n.work = n.first.work + n.second.work
+	// IO cost of this cut: memory of first-half values still live
+	// because some successor sits in the second half.
+	var io int64
+	for p := lo; p < mid; p++ {
+		v := order[p]
+		for _, w := range succ[v] {
+			if q := pos[w]; q >= mid && q < hi {
+				io += t.Nodes[v].Mem
+				break
+			}
+		}
+	}
+	n.maxLive = io
+	if n.first.maxLive > n.maxLive {
+		n.maxLive = n.first.maxLive
+	}
+	if n.second.maxLive > n.maxLive {
+		n.maxLive = n.second.maxLive
+	}
+	return n
+}
+
+// Partition cuts the task's topological order into segments: the
+// maximal bisection subtrees whose maxLive fits the memory budget
+// (when MemBudget > 0) and whose work fits the lower-bound work cap.
+// Both bounds hold for every emitted segment by construction — a leaf
+// always fits: node Mem ≤ MemBudget is validated, and node Work ≤
+// critical path ≤ cap.
+func (t *Task) Partition() (*Partition, error) {
+	order, err := t.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	workCap, err := t.LowerBound()
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, len(t.Nodes))
+	for p, v := range order {
+		pos[v] = p
+	}
+	succ := t.succs()
+	root := buildTree(t, order, pos, succ, 0, len(order))
+
+	p := &Partition{Order: order, WorkCap: workCap}
+	var emit func(n *ptree)
+	emit = func(n *ptree) {
+		fits := n.work <= workCap && (t.MemBudget <= 0 || n.maxLive <= t.MemBudget)
+		if n.first == nil || fits {
+			seg := Segment{
+				Nodes:   append([]int(nil), order[n.lo:n.hi]...),
+				Work:    n.work,
+				MaxLive: n.maxLive,
+			}
+			p.Segments = append(p.Segments, seg)
+			if seg.MaxLive > p.MaxLive {
+				p.MaxLive = seg.MaxLive
+			}
+			return
+		}
+		emit(n.first)
+		emit(n.second)
+	}
+	emit(root)
+	return p, nil
+}

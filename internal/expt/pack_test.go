@@ -14,7 +14,7 @@ func TestPackRegistryShipsThreePacks(t *testing.T) {
 	if packs[0].Name != PaperPack {
 		t.Fatalf("paper pack must sort first, got %v", packs)
 	}
-	for _, name := range []string{PaperPack, "rt", "memcap"} {
+	for _, name := range []string{PaperPack, "rt", "memcap", "dag"} {
 		p, ok := LookupPack(name)
 		if !ok || p.Description == "" {
 			t.Fatalf("pack %q missing or undocumented", name)
@@ -48,6 +48,13 @@ func TestPackIDsPartitionTheRegistry(t *testing.T) {
 	}
 	if len(mc) != 2 || mc[0] != "MC1" || mc[1] != "MC2" {
 		t.Fatalf("memcap pack wrong: %v", mc)
+	}
+	dg, err := PackIDs("dag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dg) != 3 || dg[0] != "DAG1" || dg[1] != "DAG2" || dg[2] != "DAG3" {
+		t.Fatalf("dag pack wrong: %v", dg)
 	}
 }
 

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"bytes"
+	"io"
+
+	"hsp/internal/model"
+)
+
+// RigidName is the scenario name of the paper's native model: rigid
+// jobs with laminar affinities, compiled by the identity.
+const RigidName = "rigid"
+
+// Rigid wraps a model.Instance as a scenario workload. Its wire format
+// is the instance JSON cmd/hgen has always emitted, and Compile is the
+// identity: the instance *is* the compiled form. The scenario-level
+// claim is the generic one the solvers already certify (makespan ≤
+// 2·T* ≤ 2·OPT), so LowerBound/Factor stay unset here — the LP bound
+// is computed at solve time, not compile time.
+type Rigid struct {
+	In *model.Instance
+}
+
+// Scenario implements Workload.
+func (r *Rigid) Scenario() string { return RigidName }
+
+// Validate implements Workload by re-validating the wrapped instance.
+func (r *Rigid) Validate() error { return r.In.Validate() }
+
+// Compile implements Workload with the identity lowering.
+func (r *Rigid) Compile() (*Compiled, error) {
+	return &Compiled{Instance: r.In, Segments: r.In.N()}, nil
+}
+
+// Encode implements Workload via the instance JSON codec.
+func (r *Rigid) Encode(w io.Writer) error { return model.Encode(w, r.In) }
+
+func init() {
+	Register(Descriptor{
+		Name:        RigidName,
+		Description: "rigid jobs with laminar affinities (the paper's native model; identity compile)",
+		Decode: func(data []byte) (Workload, error) {
+			in, err := model.Decode(bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			return &Rigid{In: in}, nil
+		},
+	})
+}

@@ -1,0 +1,137 @@
+// Package scenario is the pluggable instance-construction layer: a
+// scenario owns the path from a workload description (decoded from its
+// wire format) through validation and *compilation* down to the rigid
+// laminar core the solvers understand — a model.Instance plus optional
+// memcap annotations — together with the claim the compilation
+// certifies (a scenario-level lower bound and an approximation factor
+// relative to it).
+//
+// The paper's native rigid-job model is re-expressed here as the first
+// registered scenario ("rigid", an identity compile) rather than the
+// privileged one; "dag" (internal/dag) is the second. Registration
+// happens in package init, mirroring the internal/expt pack registry,
+// so importing a scenario package is all it takes to make its name
+// routable from internal/serve and the cmd front ends.
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"hsp/internal/memcap"
+	"hsp/internal/model"
+)
+
+// Workload is a decoded scenario document: a self-describing workload
+// that can validate its own shape and compile itself down to the rigid
+// laminar core.
+type Workload interface {
+	// Scenario returns the registered scenario name this workload
+	// belongs to.
+	Scenario() string
+	// Validate checks the workload's internal consistency (shape,
+	// ranges, acyclicity, ...). Decode implementations call it, so a
+	// decoded Workload is always valid.
+	Validate() error
+	// Compile lowers the workload to a rigid instance the core solvers
+	// accept, carrying any scenario-level guarantees along.
+	Compile() (*Compiled, error)
+	// Encode writes the workload back in its wire format. Encodings are
+	// canonical: Decode∘Encode∘Decode is byte-stable.
+	Encode(w io.Writer) error
+}
+
+// Compiled is the result of lowering a scenario workload: the rigid
+// instance, optional memory annotations, and the compile-time claim.
+type Compiled struct {
+	// Instance is the rigid laminar instance; always non-nil and valid.
+	Instance *model.Instance
+	// Memory1 optionally annotates the instance with Section VI model-1
+	// sizes and budgets (nil when the scenario carries no memory).
+	Memory1 *memcap.Model1
+
+	// LowerBound is a scenario-level lower bound on the optimum of the
+	// *original* workload (0 when the scenario certifies none). For the
+	// DAG scenario it is max(critical path, ceil(total work / m)).
+	LowerBound int64
+	// Factor is the certified approximation factor: any makespan
+	// obtained from the compiled instance by a Factor'-approximate
+	// solver with Factor' ≤ Factor is guaranteed ≤ Factor·LowerBound.
+	// 0 means no factor claim.
+	Factor float64
+
+	// Segments is the number of compiled rigid jobs (for scenarios that
+	// decompose work; equals Instance.N()).
+	Segments int
+	// MaxLive is the largest per-segment live-memory metric produced by
+	// the compilation (0 when not applicable).
+	MaxLive int64
+}
+
+// CheckMakespan verifies a makespan obtained for the compiled instance
+// against the compile-time claim Factor·LowerBound. It returns nil when
+// the claim holds or when the compilation certified none.
+func (c *Compiled) CheckMakespan(makespan int64) error {
+	if c.Factor <= 0 || c.LowerBound <= 0 {
+		return nil
+	}
+	if float64(makespan) > c.Factor*float64(c.LowerBound) {
+		return fmt.Errorf("scenario: makespan %d violates certified bound %.1f·%d",
+			makespan, c.Factor, c.LowerBound)
+	}
+	return nil
+}
+
+// Descriptor registers a scenario: its routable name, a one-line
+// description for listings, and the wire-format decoder.
+type Descriptor struct {
+	Name        string
+	Description string
+	// Decode parses and validates a workload document.
+	Decode func(data []byte) (Workload, error)
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]Descriptor{}
+)
+
+// Register adds a scenario to the registry. It panics on a duplicate or
+// empty name (registration happens in init, where a panic is a build
+// bug, mirroring expt.RegisterPack).
+func Register(d Descriptor) {
+	mu.Lock()
+	defer mu.Unlock()
+	if d.Name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if d.Decode == nil {
+		panic(fmt.Sprintf("scenario: Register(%q) with nil Decode", d.Name))
+	}
+	if _, dup := registry[d.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate Register(%q)", d.Name))
+	}
+	registry[d.Name] = d
+}
+
+// Lookup returns the descriptor for a scenario name.
+func Lookup(name string) (Descriptor, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	d, ok := registry[name]
+	return d, ok
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hsp/internal/laminar"
+	"hsp/internal/model"
+)
+
+func testInstance(t *testing.T) *model.Instance {
+	t.Helper()
+	in := model.New(laminar.SemiPartitioned(3))
+	in.AddJob([]int64{5, 4, 5, 5})
+	in.AddJob([]int64{3, 2, 2, 3})
+	if err := in.Validate(); err != nil {
+		t.Fatalf("test instance invalid: %v", err)
+	}
+	return in
+}
+
+func TestRigidRegistered(t *testing.T) {
+	d, ok := Lookup(RigidName)
+	if !ok {
+		t.Fatalf("rigid scenario not registered")
+	}
+	if d.Name != RigidName || d.Decode == nil {
+		t.Fatalf("bad descriptor: %+v", d)
+	}
+	found := false
+	for _, name := range Names() {
+		if name == RigidName {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v missing %q", Names(), RigidName)
+	}
+}
+
+func TestRigidRoundTripAndCompile(t *testing.T) {
+	in := testInstance(t)
+	var buf bytes.Buffer
+	if err := model.Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := Lookup(RigidName)
+	wl, err := d.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if wl.Scenario() != RigidName {
+		t.Fatalf("Scenario() = %q", wl.Scenario())
+	}
+	if err := wl.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	c, err := wl.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if c.Instance == nil || c.Instance.N() != in.N() || c.Instance.M() != in.M() {
+		t.Fatalf("identity compile changed dimensions")
+	}
+	if c.Segments != in.N() {
+		t.Fatalf("Segments = %d, want %d", c.Segments, in.N())
+	}
+	var re bytes.Buffer
+	if err := wl.Encode(&re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), buf.Bytes()) {
+		t.Fatalf("rigid encode not byte-stable:\n%s\nvs\n%s", re.String(), buf.String())
+	}
+}
+
+func TestRigidDecodeRejectsGarbage(t *testing.T) {
+	d, _ := Lookup(RigidName)
+	if _, err := d.Decode([]byte("{not json")); err == nil {
+		t.Fatalf("decode accepted garbage")
+	}
+	// Non-monotone proc rows must be rejected by validation.
+	bad := `{"machines":2,"sets":[[0,1],[0],[1]],"proc":[[1,10,10]]}`
+	if _, err := d.Decode([]byte(bad)); err == nil {
+		t.Fatalf("decode accepted non-monotone instance")
+	}
+}
+
+func TestCheckMakespan(t *testing.T) {
+	c := &Compiled{LowerBound: 10, Factor: 2}
+	if err := c.CheckMakespan(20); err != nil {
+		t.Fatalf("makespan at the bound should pass: %v", err)
+	}
+	if err := c.CheckMakespan(21); err == nil {
+		t.Fatalf("makespan above the bound should fail")
+	} else if !strings.Contains(err.Error(), "violates") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	none := &Compiled{}
+	if err := none.CheckMakespan(1 << 40); err != nil {
+		t.Fatalf("no-claim compile should never fail: %v", err)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	for name, d := range map[string]Descriptor{
+		"empty name": {Name: "", Decode: func([]byte) (Workload, error) { return nil, nil }},
+		"nil decode": {Name: "x-nil-decode"},
+		"duplicate":  {Name: RigidName, Decode: func([]byte) (Workload, error) { return nil, nil }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%s) did not panic", name)
+				}
+			}()
+			Register(d)
+		}()
+	}
+}

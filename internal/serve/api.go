@@ -16,14 +16,22 @@ const (
 	AlgoRT      = "rt"      // frame-based schedulability test
 	AlgoMemory1 = "memory1" // Section VI model 1 (per-machine budgets)
 	AlgoMemory2 = "memory2" // Section VI model 2 (per-level capacities)
+
+	// AlgoDAG routes through the scenario layer: Request.Instance
+	// carries the DAG task schema (cmd/hgen -topology dag), which is
+	// compiled into a rigid instance and solved with the "best"
+	// pipeline. Any registered scenario name works the same way.
+	AlgoDAG = "dag"
 )
 
 // Request is one solver query on the wire.
 type Request struct {
 	// Algo selects the solver; see the Algo* constants.
 	Algo string `json:"algo"`
-	// Instance is the scheduling instance in the same JSON wire format
-	// cmd/hgen emits and cmd/hsched reads.
+	// Instance is the workload document: for the core algos, the
+	// scheduling instance in the same JSON wire format cmd/hgen emits
+	// and cmd/hsched reads; for scenario algos ("dag", "rigid"), that
+	// scenario's own schema.
 	Instance json.RawMessage `json:"instance,omitempty"`
 	// TimeoutMS caps this request's solve time in milliseconds; 0 means
 	// the server's default deadline. The solver aborts cooperatively
@@ -82,6 +90,16 @@ type Response struct {
 	MemFactor  float64 `json:"mem_factor,omitempty"`
 	LoadFactor float64 `json:"load_factor,omitempty"`
 	Fallbacks  int     `json:"fallbacks,omitempty"`
+	// Scenario/ScenarioLB/Segments/MaxLive report the scenario layer's
+	// compile: the scenario name, its certified lower bound on the
+	// original workload's optimum (for "dag": max(critical path,
+	// ceil(total work/m))), the number of compiled rigid jobs, and the
+	// largest per-segment maxLive metric. The server checks Makespan
+	// against the scenario's certified factor before answering.
+	Scenario   string `json:"scenario,omitempty"`
+	ScenarioLB int64  `json:"scenario_lb,omitempty"`
+	Segments   int    `json:"segments,omitempty"`
+	MaxLive    int64  `json:"max_live,omitempty"`
 	// Schedule is the schedule JSON (sched wire format), present only
 	// when the request set WantSchedule.
 	Schedule json.RawMessage `json:"schedule,omitempty"`

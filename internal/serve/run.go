@@ -6,12 +6,14 @@ import (
 	"fmt"
 
 	"hsp/internal/approx"
+	_ "hsp/internal/dag" // register the "dag" scenario for Algo routing
 	"hsp/internal/exact"
 	"hsp/internal/hier"
 	"hsp/internal/memcap"
 	"hsp/internal/model"
 	"hsp/internal/relax"
 	"hsp/internal/rt"
+	"hsp/internal/scenario"
 	"hsp/internal/sched"
 )
 
@@ -49,6 +51,12 @@ type Outcome struct {
 	MemFactor  float64
 	LoadFactor float64
 	Fallbacks  int
+	// Scenario fields, set when the query routed through the scenario
+	// layer (see RunScenario).
+	Scenario   string
+	ScenarioLB int64
+	Segments   int
+	MaxLive    int64
 	Schedule   *sched.Schedule
 }
 
@@ -151,6 +159,36 @@ func Run(ctx context.Context, in *model.Instance, req *Request, ws *Workspaces) 
 	return nil, badRequestf("unknown -algo %q", req.Algo)
 }
 
+// RunScenario compiles a scenario workload down to the rigid core and
+// solves the compiled instance with the "best" pipeline (2-approx +
+// heuristic improvement, so the LP certificate Makespan ≤ 2·T* holds
+// and with it any compile-time Factor·LowerBound claim). The outcome
+// carries the scenario metadata, and a makespan that violates the
+// scenario's certified bound is turned into a server-side error rather
+// than answered — the claim check is part of the contract, not left to
+// the client.
+func RunScenario(ctx context.Context, wl scenario.Workload, req *Request, ws *Workspaces) (*Outcome, error) {
+	c, err := wl.Compile()
+	if err != nil {
+		return nil, errBadRequest{err}
+	}
+	inner := *req
+	inner.Algo = AlgoBest
+	out, err := Run(ctx, c.Instance, &inner, ws)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.CheckMakespan(out.Makespan); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", wl.Scenario(), err)
+	}
+	out.Algo = req.Algo
+	out.Scenario = wl.Scenario()
+	out.ScenarioLB = c.LowerBound
+	out.Segments = c.Segments
+	out.MaxLive = c.MaxLive
+	return out, nil
+}
+
 // fillMemory copies a bicriteria result into the outcome.
 func fillMemory(out *Outcome, res *memcap.Result) {
 	out.Instance = res.Instance
@@ -179,13 +217,27 @@ func Do(ctx context.Context, req *Request, ws *Workspaces) (*Response, error) {
 	if len(req.Instance) == 0 {
 		return nil, badRequestf("request carries no instance")
 	}
-	in, err := model.Decode(bytes.NewReader(req.Instance))
-	if err != nil {
-		return nil, errBadRequest{err}
-	}
-	out, err := Run(ctx, in, req, ws)
-	if err != nil {
-		return nil, err
+	var out *Outcome
+	if desc, ok := scenario.Lookup(req.Algo); ok {
+		// Scenario algos ("dag", "rigid"): Instance carries that
+		// scenario's document, decoded and compiled by its descriptor.
+		wl, err := desc.Decode(req.Instance)
+		if err != nil {
+			return nil, errBadRequest{err}
+		}
+		out, err = RunScenario(ctx, wl, req, ws)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		in, err := model.Decode(bytes.NewReader(req.Instance))
+		if err != nil {
+			return nil, errBadRequest{err}
+		}
+		out, err = Run(ctx, in, req, ws)
+		if err != nil {
+			return nil, err
+		}
 	}
 	resp := &Response{
 		Algo:       out.Algo,
@@ -197,6 +249,10 @@ func Do(ctx context.Context, req *Request, ws *Workspaces) (*Response, error) {
 		MemFactor:  out.MemFactor,
 		LoadFactor: out.LoadFactor,
 		Fallbacks:  out.Fallbacks,
+		Scenario:   out.Scenario,
+		ScenarioLB: out.ScenarioLB,
+		Segments:   out.Segments,
+		MaxLive:    out.MaxLive,
 	}
 	if out.HasVerdict {
 		resp.Verdict = out.Verdict.String()

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hsp/internal/dag"
+)
+
+// DAGConfig parameterizes deterministic DAG-task generation: a layered
+// random DAG (edges only point from earlier to later layers, so
+// acyclicity holds by construction) with uniform work and live-memory
+// draws.
+type DAGConfig struct {
+	Machines  int
+	Branching []int // optional laminar hierarchy for the compile target
+
+	Nodes  int
+	Layers int // 0 → ≈√Nodes
+	// EdgeProb is the probability of an edge between a node and each
+	// node of the next layer; skip-layer edges appear at a quarter of
+	// that rate. Every non-source node keeps at least one predecessor.
+	EdgeProb float64
+	Seed     int64
+
+	MinWork, MaxWork int64
+	// MinMem/MaxMem bound the per-node live-memory draw; MaxMem = 0
+	// generates a memory-free task (no budget, no memcap annotations).
+	MinMem, MaxMem int64
+	// MemBudget is the per-segment maxLive budget. 0 with memory draws
+	// derives one: max(largest node, ceil(BudgetSlack × mean layer
+	// memory)) — tight enough to force cuts, always admissible.
+	MemBudget int64
+	// BudgetSlack scales the derived budget; 0 defaults to 1.5.
+	BudgetSlack float64
+}
+
+// GenerateDAG builds a DAG task according to the configuration. All
+// randomness flows from the seed, so equal configs yield equal tasks.
+func GenerateDAG(cfg DAGConfig) (*dag.Task, error) {
+	if cfg.Machines < 1 {
+		return nil, fmt.Errorf("workload: dag needs ≥ 1 machine, got %d", cfg.Machines)
+	}
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("workload: dag needs ≥ 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.MinWork <= 0 || cfg.MaxWork < cfg.MinWork {
+		return nil, fmt.Errorf("workload: bad work range [%d,%d]", cfg.MinWork, cfg.MaxWork)
+	}
+	if cfg.MinMem < 0 || cfg.MaxMem < cfg.MinMem {
+		return nil, fmt.Errorf("workload: bad mem range [%d,%d]", cfg.MinMem, cfg.MaxMem)
+	}
+	if cfg.EdgeProb < 0 || cfg.EdgeProb > 1 {
+		return nil, fmt.Errorf("workload: edge probability %g outside [0,1]", cfg.EdgeProb)
+	}
+	layers := cfg.Layers
+	if layers <= 0 {
+		layers = int(math.Round(math.Sqrt(float64(cfg.Nodes))))
+	}
+	if layers < 1 {
+		layers = 1
+	}
+	if layers > cfg.Nodes {
+		layers = cfg.Nodes
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &dag.Task{Machines: cfg.Machines}
+	if len(cfg.Branching) > 0 {
+		t.Branching = append([]int(nil), cfg.Branching...)
+	}
+
+	// Contiguous layer blocks: node v sits in layer v·layers/Nodes, so
+	// node index order is already a topological order.
+	layerOf := make([]int, cfg.Nodes)
+	layerStart := make([]int, layers+1)
+	for v := 0; v < cfg.Nodes; v++ {
+		layerOf[v] = v * layers / cfg.Nodes
+	}
+	for l := 1; l <= layers; l++ {
+		layerStart[l] = cfg.Nodes
+	}
+	for v := cfg.Nodes - 1; v >= 0; v-- {
+		layerStart[layerOf[v]] = v
+	}
+
+	t.Nodes = make([]dag.Node, cfg.Nodes)
+	for v := range t.Nodes {
+		work := cfg.MinWork + rng.Int63n(cfg.MaxWork-cfg.MinWork+1)
+		var mem int64
+		if cfg.MaxMem > 0 {
+			mem = cfg.MinMem + rng.Int63n(cfg.MaxMem-cfg.MinMem+1)
+		}
+		t.Nodes[v] = dag.Node{Work: work, Mem: mem}
+	}
+
+	layerEnd := func(l int) int {
+		if l+1 <= layers {
+			return layerStart[l+1]
+		}
+		return cfg.Nodes
+	}
+	for v := 0; v < cfg.Nodes; v++ {
+		l := layerOf[v]
+		hasPred := l == 0
+		// Edges from the previous layer, then sparser skip edges from
+		// two layers back.
+		if l >= 1 {
+			for u := layerStart[l-1]; u < layerEnd(l-1); u++ {
+				if rng.Float64() < cfg.EdgeProb {
+					t.Edges = append(t.Edges, [2]int{u, v})
+					hasPred = true
+				}
+			}
+		}
+		if l >= 2 {
+			for u := layerStart[l-2]; u < layerEnd(l-2); u++ {
+				if rng.Float64() < cfg.EdgeProb/4 {
+					t.Edges = append(t.Edges, [2]int{u, v})
+				}
+			}
+		}
+		if !hasPred {
+			u := layerStart[l-1] + rng.Intn(layerEnd(l-1)-layerStart[l-1])
+			t.Edges = append(t.Edges, [2]int{u, v})
+		}
+	}
+
+	if cfg.MaxMem > 0 {
+		t.MemBudget = cfg.MemBudget
+		if t.MemBudget == 0 {
+			slack := cfg.BudgetSlack
+			if slack <= 0 {
+				slack = 1.5
+			}
+			var total, largest int64
+			for _, nd := range t.Nodes {
+				total += nd.Mem
+				if nd.Mem > largest {
+					largest = nd.Mem
+				}
+			}
+			b := int64(math.Ceil(slack * float64(total) / float64(layers)))
+			if b < largest {
+				b = largest
+			}
+			t.MemBudget = b
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated dag invalid: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"hsp/internal/dag"
+)
+
+func dagCfg(seed int64) DAGConfig {
+	return DAGConfig{
+		Machines: 4,
+		Nodes:    40,
+		Layers:   5,
+		EdgeProb: 0.3,
+		Seed:     seed,
+		MinWork:  1, MaxWork: 20,
+		MinMem: 1, MaxMem: 8,
+	}
+}
+
+func TestGenerateDAGDeterministic(t *testing.T) {
+	a, err := GenerateDAG(dagCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDAG(dagCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := dag.Encode(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := dag.Encode(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("same seed produced different tasks")
+	}
+	c, err := GenerateDAG(dagCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bc bytes.Buffer
+	if err := dag.Encode(&bc, c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ba.Bytes(), bc.Bytes()) {
+		t.Fatalf("different seeds produced identical tasks")
+	}
+}
+
+func TestGenerateDAGShape(t *testing.T) {
+	task, err := GenerateDAG(dagCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Validate(); err != nil {
+		t.Fatalf("generated task invalid: %v", err)
+	}
+	if len(task.Nodes) != 40 {
+		t.Fatalf("got %d nodes, want 40", len(task.Nodes))
+	}
+	if task.MemBudget <= 0 {
+		t.Fatalf("memory draws but no derived budget")
+	}
+	if len(task.Edges) == 0 {
+		t.Fatalf("layered generator produced no edges")
+	}
+	// The derived budget must force a real partition yet stay
+	// compilable end to end.
+	c, err := task.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if c.Segments < 2 {
+		t.Fatalf("expected a non-trivial partition, got %d segment(s)", c.Segments)
+	}
+	if c.Memory1 == nil {
+		t.Fatalf("no memory annotations")
+	}
+}
+
+func TestGenerateDAGMemoryFree(t *testing.T) {
+	cfg := dagCfg(5)
+	cfg.MinMem, cfg.MaxMem = 0, 0
+	task, err := GenerateDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.MemBudget != 0 {
+		t.Fatalf("memory-free config derived a budget %d", task.MemBudget)
+	}
+	c, err := task.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Memory1 != nil {
+		t.Fatalf("memory-free task got annotations")
+	}
+}
+
+func TestGenerateDAGBranching(t *testing.T) {
+	cfg := dagCfg(11)
+	cfg.Branching = []int{2, 2}
+	task, err := GenerateDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := task.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Instance.M() != 4 {
+		t.Fatalf("hierarchy compile on %d machines", c.Instance.M())
+	}
+	if c.Instance.Family.Levels() < 2 {
+		t.Fatalf("branching did not shape a hierarchy")
+	}
+}
+
+func TestGenerateDAGRejects(t *testing.T) {
+	for name, mutate := range map[string]func(*DAGConfig){
+		"no machines": func(c *DAGConfig) { c.Machines = 0 },
+		"no nodes":    func(c *DAGConfig) { c.Nodes = 0 },
+		"bad work":    func(c *DAGConfig) { c.MinWork = 0 },
+		"bad mem":     func(c *DAGConfig) { c.MinMem = 5; c.MaxMem = 2 },
+		"bad prob":    func(c *DAGConfig) { c.EdgeProb = 1.5 },
+	} {
+		cfg := dagCfg(1)
+		mutate(&cfg)
+		if _, err := GenerateDAG(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
