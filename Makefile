@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: all build vet fmt-check lint-docs test race bench-quick bench-packs \
 	bench-shard bench-merge bench-sharded bench-alloc bench-hot profile \
-	hspd-smoke fuzz-smoke ci
+	hspd-smoke fuzz-smoke coord-smoke ci
 
 all: build vet test
 
@@ -135,6 +135,25 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzMinFeasibleT' -fuzztime $(FUZZTIME) ./internal/relax
 	$(GO) test -run '^$$' -fuzz 'FuzzDAGDecode' -fuzztime $(FUZZTIME) ./internal/dag
 
+# Distributed-execution smoke: one coordinator with three in-process
+# workers driving the real HTTP lease endpoints, worker 1 killed by
+# fault injection after its first submitted result (its next finished
+# result dies with it, the lease expires and another worker retries).
+# The gates are the byte-identity oracle — coordinator JSONL must equal
+# the sequential -json run byte for byte — and the trajectory contract:
+# the coordinated run appends exactly one bench record.
+COORD_OUT ?= out/coord
+
+coord-smoke:
+	@mkdir -p $(COORD_OUT)
+	$(GO) run ./cmd/hbench -quick -json > $(COORD_OUT)/sequential.jsonl
+	$(GO) run ./cmd/hbench -quick \
+		-coord 127.0.0.1:0 -coord-workers 3 -fault-kill 1@1 -lease-ttl 2s \
+		-bench-out $(COORD_OUT)/BENCH_coord.json > $(COORD_OUT)/coord.jsonl
+	cmp $(COORD_OUT)/sequential.jsonl $(COORD_OUT)/coord.jsonl
+	@n="$$(wc -l < $(COORD_OUT)/BENCH_coord.json)"; if [ "$$n" -ne 1 ]; then \
+		echo "coordinated run appended $$n bench records, want exactly 1"; exit 1; fi
+
 PROFILE_OUT ?= out/profile
 
 profile:
@@ -144,4 +163,4 @@ profile:
 		> $(PROFILE_OUT)/run.jsonl
 	@echo "profiles written: $(PROFILE_OUT)/cpu.pprof $(PROFILE_OUT)/heap.pprof"
 
-ci: build vet fmt-check lint-docs race bench-alloc fuzz-smoke bench-quick bench-packs hspd-smoke
+ci: build vet fmt-check lint-docs race bench-alloc fuzz-smoke bench-quick bench-packs hspd-smoke coord-smoke

@@ -153,11 +153,24 @@ func appendBenchRecord(path, pack string, quick bool, seed int64, workers, shard
 	if err != nil {
 		return nil, err
 	}
+	out := append(b, '\n')
+	// A crash mid-append leaves the file's last line unterminated;
+	// appending straight after it would glue this record onto the
+	// fragment and corrupt both. Terminate the fragment first.
+	if rf, err := os.Open(path); err == nil {
+		if st, err := rf.Stat(); err == nil && st.Size() > 0 {
+			tail := make([]byte, 1)
+			if _, err := rf.ReadAt(tail, st.Size()-1); err == nil && tail[0] != '\n' {
+				out = append([]byte{'\n'}, out...)
+			}
+		}
+		rf.Close()
+	}
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	_, werr := f.Write(append(b, '\n'))
+	_, werr := f.Write(out)
 	cerr := f.Close()
 	if werr != nil {
 		return nil, werr

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hsp/internal/expt"
+	"hsp/internal/expt/coord"
+)
+
+// coordOpts carries the flag values the coordinator and worker modes
+// consume, so run() hands them over in one piece.
+type coordOpts struct {
+	addr     string // listen address, or "local" for in-process only
+	addrFile string // write the bound address here (for ":0" tests)
+	workers  int    // in-process workers to attach
+	ttl      time.Duration
+	kill     string // "i@n" fault injection for in-process worker i
+	speed    float64
+	name     string // worker id override
+}
+
+// runCoordinator is -coord mode: the selected suite runs through the
+// work-stealing queue (seeded in LPT order from the trajectory costs)
+// instead of a static plan, and the accepted results are emitted as
+// stable JSONL in canonical suite order — byte-identical to a
+// sequential -json run of the same suite and seed. When -bench-out is
+// set, exactly one trajectory record is appended for the whole
+// coordinated run, like -merge.
+func runCoordinator(ctx context.Context, o coordOpts, ids []string, packName string, quick bool, seed int64, timeout time.Duration, benchOut string, stdout io.Writer) error {
+	if o.addr == "local" && o.workers <= 0 {
+		return errors.New("-coord local needs -coord-workers >= 1 (no listener for external workers)")
+	}
+	canonical := append([]string(nil), ids...)
+	if len(canonical) == 0 {
+		canonical = expt.IDs()
+	}
+	expt.SortIDs(canonical)
+	costs, err := loadCosts(benchOut, benchKey(packName, quick, seed, canonical))
+	if err != nil {
+		return fmt.Errorf("coord costs: %w", err)
+	}
+
+	c := coord.New(coord.Config{
+		IDs:      canonical,
+		Costs:    costs,
+		Suite:    expt.Suite{Quick: quick, Seed: seed},
+		Timeout:  timeout,
+		LeaseTTL: o.ttl,
+	})
+
+	// In-process workers talk to the bound listener when there is one,
+	// so a single process still exercises the full wire path.
+	var workerClient coord.Client = c
+	listening := false
+	if o.addr != "local" {
+		listening = true
+		ln, err := net.Listen("tcp", o.addr)
+		if err != nil {
+			return fmt.Errorf("coord listen: %w", err)
+		}
+		srv := &http.Server{Handler: coord.Handler(c), ReadHeaderTimeout: 10 * time.Second}
+		go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+		defer srv.Close()
+		bound := "http://" + ln.Addr().String()
+		workerClient = &coord.HTTPClient{Base: bound}
+		if o.addrFile != "" {
+			if err := os.WriteFile(o.addrFile, []byte(bound+"\n"), 0o644); err != nil {
+				return fmt.Errorf("coord addr file: %w", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "coordinator listening on %s (%d experiments)\n", bound, len(canonical))
+	}
+
+	killIdx, killAfter, err := parseFaultKill(o.kill)
+	if err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
+	for i := 1; i <= o.workers; i++ {
+		w := &coord.Worker{ID: fmt.Sprintf("w%d", i), Client: workerClient}
+		if i == killIdx {
+			after := killAfter
+			w.Faults.KillWorker = func(_ string, completed int) bool { return completed >= after }
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx) //nolint:errcheck // a killed worker is the fault's point; real errors surface via Wait
+		}()
+	}
+
+	start := time.Now()
+	results, err := c.Wait(ctx)
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	if listening {
+		// Linger past the workers' lease-poll interval so external
+		// workers observe Done from their next poll instead of a
+		// connection-refused when the listener dies with this process.
+		select {
+		case <-time.After(500 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
+
+	if err := expt.WriteJSON(stdout, results, expt.JSONOptions{}); err != nil {
+		return err
+	}
+	if benchOut != "" {
+		stats := c.Stats()
+		drift, err := appendBenchRecord(benchOut, packName, quick, seed, stats.Joined, 0, results, wall)
+		if err != nil {
+			return fmt.Errorf("bench record: %w", err)
+		}
+		for _, line := range drift {
+			fmt.Fprintln(os.Stderr, "drift: "+line)
+		}
+	}
+	summary, failed := expt.Summarize(results)
+	if failed {
+		return fmt.Errorf("suite failed: %s", summary)
+	}
+	fmt.Fprintln(os.Stderr, summary)
+	return nil
+}
+
+// runWorker is -worker mode: join the coordinator at addr and run
+// leased experiments until the queue is done. The worker prints nothing
+// to stdout — results live on the coordinator.
+func runWorker(ctx context.Context, o coordOpts) error {
+	addr := o.addr
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	name := o.name
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &coord.Worker{
+		ID:     name,
+		Client: &coord.HTTPClient{Base: addr},
+		Speed:  o.speed,
+	}
+	if err := w.Run(ctx); err != nil {
+		return fmt.Errorf("worker %s: %w", name, err)
+	}
+	fmt.Fprintf(os.Stderr, "worker %s: queue drained\n", name)
+	return nil
+}
+
+// parseFaultKill parses -fault-kill "i@n": in-process worker i (1-based)
+// dies once it has submitted n results. Empty means no kill.
+func parseFaultKill(spec string) (worker, after int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	i, n, ok := strings.Cut(spec, "@")
+	if ok {
+		worker, err = strconv.Atoi(i)
+		if err == nil {
+			after, err = strconv.Atoi(n)
+		}
+	}
+	if !ok || err != nil || worker < 1 || after < 0 {
+		return 0, 0, fmt.Errorf("invalid -fault-kill %q (want i@n: worker i dies after n results)", spec)
+	}
+	return worker, after, nil
+}
+
+// parseSpeeds parses -speeds "2,1,1" into per-shard speed factors and
+// checks the count against the shard total.
+func parseSpeeds(spec string, of int) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != of {
+		return nil, fmt.Errorf("-speeds lists %d factors for %d shards", len(parts), of)
+	}
+	speeds := make([]float64, len(parts))
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("invalid -speeds entry %q (want positive factors)", p)
+		}
+		speeds[i] = f
+	}
+	return speeds, nil
+}

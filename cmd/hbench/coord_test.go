@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCoordLocalByteIdenticalOneBenchRecord is the CLI half of the
+// byte-identity oracle: -coord output must equal sequential -json, and
+// each coordinated run appends exactly one trajectory record.
+func TestCoordLocalByteIdenticalOneBenchRecord(t *testing.T) {
+	ctx := context.Background()
+	var seq bytes.Buffer
+	if err := run(ctx, []string{"-quick", "-pack", "rt", "-json"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	bench := filepath.Join(t.TempDir(), "BENCH_hbench.json")
+	coordArgs := []string{"-quick", "-pack", "rt", "-coord", "local", "-coord-workers", "2", "-bench-out", bench}
+
+	var first bytes.Buffer
+	if err := run(ctx, coordArgs, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), first.Bytes()) {
+		t.Fatalf("-coord local output differs from sequential -json:\n%s\n---\n%s", seq.String(), first.String())
+	}
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("first coordinated run appended %d bench records, want exactly 1", len(lines))
+	}
+	var rec benchRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Workers != 2 || rec.Pass != rec.Experiments {
+		t.Fatalf("bench record wrong: %+v", rec)
+	}
+
+	// The second run appends exactly one more — with drift computed
+	// against the first, proving coordinated runs share the sequential
+	// trajectory key.
+	var second bytes.Buffer
+	if err := run(ctx, coordArgs, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), second.Bytes()) {
+		t.Fatal("second coordinated run diverged")
+	}
+	data, err = os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("two runs appended %d bench records, want exactly 2", len(lines))
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Drift == nil || rec.Drift.Regressed {
+		t.Fatalf("second record should carry non-regressed drift vs the first: %+v", rec.Drift)
+	}
+}
+
+// TestCoordHTTPKillByteIdentical drives the wire path from the CLI: a
+// listening coordinator, three in-process workers over HTTP, worker 1
+// killed before its first submit. The retry must make the output
+// byte-identical anyway.
+func TestCoordHTTPKillByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	var seq, coordOut bytes.Buffer
+	if err := run(ctx, []string{"-quick", "-pack", "memcap", "-json"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-quick", "-pack", "memcap",
+		"-coord", "127.0.0.1:0", "-coord-workers", "3",
+		"-fault-kill", "1@0", "-lease-ttl", "300ms"}
+	if err := run(ctx, args, &coordOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), coordOut.Bytes()) {
+		t.Fatalf("killed-worker run diverged from sequential:\n%s\n---\n%s", seq.String(), coordOut.String())
+	}
+}
+
+// TestWorkerModeDrainsQueue exercises the cross-process topology in one
+// process: a coordinator run (no in-process workers) publishing its
+// bound address through -coord-addr-file, and a -worker run joining it.
+func TestWorkerModeDrainsQueue(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var seq bytes.Buffer
+	if err := run(ctx, []string{"-quick", "-run", "E1,E7", "-json"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	addrFile := filepath.Join(t.TempDir(), "addr.txt")
+	var coordOut bytes.Buffer
+	coordErr := make(chan error, 1)
+	go func() {
+		coordErr <- run(ctx, []string{"-quick", "-run", "E1,E7",
+			"-coord", "127.0.0.1:0", "-coord-addr-file", addrFile}, &coordOut)
+	}()
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if b, err := os.ReadFile(addrFile); err == nil && len(bytes.TrimSpace(b)) > 0 {
+			addr = string(bytes.TrimSpace(b))
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("coordinator never published its address")
+	}
+	var workerOut bytes.Buffer
+	if err := run(ctx, []string{"-worker", addr, "-worker-name", "t1", "-speed", "2"}, &workerOut); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := <-coordErr; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if !bytes.Equal(seq.Bytes(), coordOut.Bytes()) {
+		t.Fatalf("worker-mode run diverged from sequential:\n%s\n---\n%s", seq.String(), coordOut.String())
+	}
+	if workerOut.Len() != 0 {
+		t.Fatalf("worker wrote to stdout (results live on the coordinator): %q", workerOut.String())
+	}
+}
+
+// TestCoordFlagValidation pins the CLI guard rails.
+func TestCoordFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"coord+shard", []string{"-coord", "local", "-coord-workers", "1", "-shard", "1/2"}, "-shard"},
+		{"coord+stream", []string{"-coord", "local", "-coord-workers", "1", "-stream"}, "-stream"},
+		{"local-no-workers", []string{"-coord", "local"}, "-coord-workers"},
+		{"bad-fault-kill", []string{"-coord", "local", "-coord-workers", "1", "-fault-kill", "zero"}, "-fault-kill"},
+		{"speeds-without-shard", []string{"-quick", "-run", "E1", "-speeds", "2,1"}, "-speeds"},
+		{"speeds-count-mismatch", []string{"-quick", "-run", "E1,E7", "-shard", "1/2", "-speeds", "1,2,3"}, "-speeds"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(ctx, tc.args, &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: err = %v, want mention of %s", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestShardSpeedsMergeByteIdentical runs a heterogeneous -speeds shard
+// plan end to end: both shards plan under the same factors, merge
+// reassembles the sequential bytes, and a shard planned under different
+// factors is rejected.
+func TestShardSpeedsMergeByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	ids := "E1,E2,E7"
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "BENCH_hbench.json")
+	// The sequential run both yields the oracle bytes and seeds the
+	// trajectory the speed-aware plan balances from.
+	var seq bytes.Buffer
+	if err := run(ctx, []string{"-quick", "-run", ids, "-json", "-bench-out", bench}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	shardFile := func(spec, speeds string, costAware bool) string {
+		args := []string{"-quick", "-run", ids, "-shard", spec, "-speeds", speeds}
+		if costAware {
+			args = append(args, "-bench-out", bench)
+		}
+		var out bytes.Buffer
+		if err := run(ctx, args, &out); err != nil {
+			t.Fatalf("shard %s: %v", spec, err)
+		}
+		path := filepath.Join(dir, "s"+strings.ReplaceAll(spec, "/", "_")+strings.ReplaceAll(speeds, ",", "-")+".jsonl")
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	s1 := shardFile("1/2", "3,1", true)
+	s2 := shardFile("2/2", "3,1", true)
+	merged := filepath.Join(dir, "merged.jsonl")
+	var out bytes.Buffer
+	if err := run(ctx, []string{"-merge", merged, s1, s2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), got) {
+		t.Fatalf("speeds-planned merge diverged from sequential:\n%s\n---\n%s", seq.String(), got)
+	}
+
+	// Shards planned under different factors must not merge. Cost-free
+	// shards round-robin identically whatever the factors, so the plans
+	// coincide and it is the metadata check that must catch this.
+	b1 := shardFile("1/2", "3,1", false)
+	b2 := shardFile("2/2", "1,3", false)
+	err = run(ctx, []string{"-merge", filepath.Join(dir, "bad.jsonl"), b1, b2}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-speeds") {
+		t.Fatalf("mismatched speed factors merged: %v", err)
+	}
+}

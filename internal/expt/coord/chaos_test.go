@@ -1,0 +1,161 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"hsp/internal/expt"
+	"hsp/internal/testenv"
+)
+
+// The byte-identity oracle. A coordinated run — any number of workers,
+// any interleaving of kills, reclaims, zombie double-submits and
+// dropped grants — must produce the exact bytes a sequential run
+// produces, because experiment results are pure functions of (id,
+// suite) under DeriveSeed. Any divergence means a fault leaked into
+// the science: a lost experiment, a duplicate record, a reordering.
+
+// stableBytes serializes results the way `hbench -json` does: stable
+// options zero the volatile fields so the comparison is semantic.
+func stableBytes(t *testing.T, results []expt.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := expt.WriteJSON(&buf, results, expt.JSONOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func sequentialBytes(t *testing.T, ids []string, suite expt.Suite) []byte {
+	t.Helper()
+	r := expt.Runner{Suite: suite, Workers: 1}
+	results, err := r.Run(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stableBytes(t, results)
+}
+
+// runChaos executes one coordinated run under the given fault schedule
+// and returns the stable output bytes plus the coordinator's stats.
+func runChaos(t *testing.T, ids []string, suite expt.Suite, sched *Schedule, workers []string, ttl time.Duration) ([]byte, Stats) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	c := New(Config{
+		IDs:      ids,
+		Suite:    suite,
+		LeaseTTL: ttl,
+		// Dropped lease acks and killed-then-reclaimed leases both burn
+		// attempts; chaos schedules need far more headroom than the
+		// production default before a run may legitimately give up.
+		MaxAttempts: 50,
+	})
+	var wg sync.WaitGroup
+	for _, name := range workers {
+		w := &Worker{ID: name, Client: c, PollInterval: 10 * time.Millisecond, Faults: sched.Faults()}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx) //nolint:errcheck // killed workers are expected
+		}()
+	}
+	results, err := c.Wait(ctx)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("schedule %v: %v", sched, err)
+	}
+	return stableBytes(t, results), c.Stats()
+}
+
+// TestChaosByteIdentity runs the paper, rt and memcap quick packs
+// through the coordinator under randomized seeded fault schedules and
+// asserts the merged output is byte-identical to the sequential run.
+// Under -race the schedule count is trimmed: the detector is the point
+// there, not coverage breadth.
+func TestChaosByteIdentity(t *testing.T) {
+	schedules := 5
+	packs := []string{"paper", "rt", "memcap"}
+	if testenv.RaceEnabled || testing.Short() {
+		// The short schedule: the detector (or -short) is the point, not
+		// coverage breadth. The paper pack is ~50s per run under race
+		// instrumentation; rt+memcap plus the synthetic suite in
+		// TestChaosExercisesFaultPaths still drive every coordination
+		// path through the detector.
+		schedules = 2
+		packs = []string{"rt", "memcap"}
+	}
+	workers := []string{"w1", "w2", "w3"}
+	ttl := 150 * time.Millisecond
+	suite := expt.Suite{Quick: true, Seed: 7}
+
+	for _, pack := range packs {
+		pack := pack
+		t.Run(pack, func(t *testing.T) {
+			ids, err := expt.PackIDs(pack)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := sequentialBytes(t, ids, suite)
+			for s := 0; s < schedules; s++ {
+				seed := int64(1700 + 31*s)
+				sched := Chaos(seed, workers, ttl)
+				got, stats := runChaos(t, ids, suite, sched, workers, ttl)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("schedule %v: coordinated output diverges from sequential\nwant %d bytes, got %d bytes\nstats %+v",
+						sched, len(want), len(got), stats)
+				}
+				if stats.Accepted != len(ids) {
+					t.Fatalf("schedule %v: accepted %d of %d", sched, stats.Accepted, len(ids))
+				}
+				t.Logf("schedule %v: stats %+v", sched, stats)
+			}
+		})
+	}
+}
+
+// TestChaosExercisesFaultPaths guards the chaos harness itself: across
+// the seeded schedules the injected faults must actually fire —
+// reclaims, duplicates — otherwise byte-identity is vacuously true.
+// It uses a synthetic suite of slow-enough experiments so the queue
+// genuinely spreads across workers instead of being drained by
+// whichever worker leases first.
+func TestChaosExercisesFaultPaths(t *testing.T) {
+	ids := make([]string, 10)
+	for i := range ids {
+		id := "ZCH" + string(rune('A'+i))
+		ids[i] = id
+		expt.Register(expt.Experiment{ID: id, Title: id,
+			Run: func(expt.Suite, context.Context) *expt.Table {
+				time.Sleep(15 * time.Millisecond)
+				return &expt.Table{ID: id}
+			}})
+		t.Cleanup(func() { expt.Unregister(id) })
+	}
+	suite := expt.Suite{Quick: true, Seed: 7}
+	workers := []string{"w1", "w2", "w3"}
+	ttl := 60 * time.Millisecond
+	var total Stats
+	n := 6
+	if testenv.RaceEnabled || testing.Short() {
+		n = 3
+	}
+	for s := 0; s < n; s++ {
+		sched := Chaos(int64(9000+101*s), workers, ttl)
+		_, stats := runChaos(t, ids, suite, sched, workers, ttl)
+		total.Reclaimed += stats.Reclaimed
+		total.Duplicates += stats.Duplicates
+		total.Leases += stats.Leases
+	}
+	if total.Reclaimed == 0 {
+		t.Errorf("no lease was ever reclaimed across %d chaos runs — kill/drop/delay injection is dead", n)
+	}
+	if total.Leases <= n*len(ids) {
+		t.Errorf("leases (%d) never exceeded experiment count (%d runs x %d ids) — no retries happened",
+			total.Leases, n, len(ids))
+	}
+	t.Logf("aggregate over %d runs: %+v", n, total)
+}

@@ -1,0 +1,390 @@
+// Package coord runs an experiment suite on a coordinator/work-stealing
+// queue instead of a static shard plan. A Coordinator owns the queue
+// (seeded in LPT order from recorded trajectory costs), leases one
+// experiment at a time to workers, extends a lease on every heartbeat,
+// reclaims and retries leases lost to worker death or heartbeat timeout
+// (bounded attempts), and accepts at most one result per experiment — a
+// slow "zombie" worker that submits after its lease was reclaimed either
+// lands first (accepted; the retry is dropped on arrival as a duplicate)
+// or second (discarded), deterministically either way.
+//
+// The correctness contract is the same byte-identity oracle the static
+// shard planner relies on: every experiment's seed derives from the base
+// seed and its ID alone (expt.DeriveSeed), so no matter how chaotically
+// work is stolen, retried or duplicated, the accepted results serialized
+// in canonical suite order are byte-identical to a sequential run.
+// Workers drive the Coordinator through the Client interface — directly
+// in process, or over HTTP via Handler/HTTPClient — and the Faults seam
+// in Worker injects worker kills, heartbeat delays, duplicate submits
+// and dropped lease acks for the chaos tests.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hsp/internal/expt"
+)
+
+// LeaseState classifies a Lease call's outcome.
+type LeaseState int
+
+const (
+	// Granted: the lease carries an experiment to run.
+	Granted LeaseState = iota
+	// Wait: nothing to hand out right now — everything is leased or
+	// the queue is momentarily empty pending a possible reclaim. Poll
+	// again after a short interval.
+	Wait
+	// Done: every experiment is resolved (accepted or terminally
+	// failed); the worker can exit.
+	Done
+)
+
+func (s LeaseState) String() string {
+	switch s {
+	case Granted:
+		return "granted"
+	case Wait:
+		return "wait"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("LeaseState(%d)", int(s))
+}
+
+// Lease is one granted unit of work. Epoch is the grant's attempt
+// number for this experiment; heartbeats carrying a stale epoch (the
+// lease was reclaimed and re-granted) are rejected so a zombie cannot
+// keep a stolen experiment's new lease alive.
+type Lease struct {
+	ID    string `json:"id"`
+	Epoch int    `json:"epoch"`
+}
+
+// RunInfo is what a joining worker needs to reproduce the run exactly:
+// the suite configuration (per-experiment seeds derive from Seed and
+// the experiment ID), the per-experiment deadline, and the lease TTL it
+// must heartbeat within.
+type RunInfo struct {
+	Suite    expt.Suite
+	Timeout  time.Duration
+	LeaseTTL time.Duration
+}
+
+// ErrLeaseLost reports a heartbeat or submit for a lease the
+// coordinator no longer recognizes (expired and reclaimed, or
+// re-granted under a newer epoch).
+var ErrLeaseLost = errors.New("coord: lease lost")
+
+// Config configures a Coordinator. IDs is the experiment set to run
+// (canonicalized to suite order internally); the zero value of every
+// other field picks the documented default.
+type Config struct {
+	// IDs is the experiment set; nil or empty means every registered
+	// experiment.
+	IDs []string
+	// Costs, when it carries positive per-experiment durations (the
+	// last bench-trajectory record, say), seeds the queue in LPT order
+	// — heaviest first — so the longest experiments start earliest and
+	// cannot bound the makespan from the tail. Missing costs queue in
+	// suite order after the known ones.
+	Costs map[string]float64
+	// Suite is the run configuration workers reproduce.
+	Suite expt.Suite
+	// Timeout is the per-experiment deadline workers apply. 0 = none.
+	Timeout time.Duration
+	// LeaseTTL is how long a lease survives without a heartbeat before
+	// it is reclaimed and retried. Default: 10s.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds lease grants per experiment; a lease expiring
+	// past the bound marks the experiment terminally failed and the run
+	// errors rather than retrying forever. Default: 4 (1 + 3 retries).
+	MaxAttempts int
+	// Sink, when non-nil, receives each accepted result the moment it
+	// is accepted, in acceptance order. Calls are serialized under the
+	// coordinator's lock: the sink may write a shared stream without
+	// locking, and must not call back into the Coordinator.
+	Sink func(expt.Result)
+
+	// now is the test seam for the clock. Default: time.Now.
+	now func() time.Time
+}
+
+// Stats counts coordinator-side events; the chaos tests assert the
+// injected faults actually exercised the paths they target.
+type Stats struct {
+	Joined     int // workers that joined
+	Leases     int // grants, including retries
+	Reclaimed  int // leases lost to death/timeout and taken back
+	Duplicates int // submits discarded by at-most-once acceptance
+	Accepted   int
+	Failed     int // experiments that exhausted MaxAttempts
+}
+
+type lease struct {
+	worker  string
+	epoch   int
+	expires time.Time
+}
+
+// Coordinator owns the experiment queue and the lease table. Create
+// with New, attach workers (in process via the Client interface the
+// Coordinator itself implements, or over HTTP), then Wait for the
+// resolved suite. The Coordinator runs no background goroutines: leases
+// are reclaimed on every API call and on Wait's ticker.
+type Coordinator struct {
+	cfg Config
+	ids []string // canonical suite order — the output order
+
+	mu       sync.Mutex
+	pending  []string          // undispatched queue, heaviest first
+	leases   map[string]*lease // experiment id -> active lease
+	attempts map[string]int    // lease grants per experiment
+	accepted map[string]expt.Result
+	failed   map[string]string // terminal failures (retries exhausted)
+	workers  map[string]float64
+	stats    Stats
+
+	done     chan struct{} // closed once every id is resolved
+	doneOnce sync.Once
+}
+
+// New builds a Coordinator over cfg. It does not validate experiment
+// ids against the registry — workers do, per lease — but it does
+// canonicalize and LPT-order the queue.
+func New(cfg Config) *Coordinator {
+	if len(cfg.IDs) == 0 {
+		cfg.IDs = expt.IDs()
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	ids := append([]string(nil), cfg.IDs...)
+	expt.SortIDs(ids)
+
+	// Queue order: heaviest known cost first (stable, so unknown-cost
+	// ids keep suite order among themselves and sort after the known
+	// ones only by virtue of cost 0 — which is fine: with no trajectory
+	// at all the queue is simply suite order).
+	queue := append([]string(nil), ids...)
+	sort.SliceStable(queue, func(i, j int) bool {
+		return cfg.Costs[queue[i]] > cfg.Costs[queue[j]]
+	})
+
+	return &Coordinator{
+		cfg:      cfg,
+		ids:      ids,
+		pending:  queue,
+		leases:   map[string]*lease{},
+		attempts: map[string]int{},
+		accepted: map[string]expt.Result{},
+		failed:   map[string]string{},
+		workers:  map[string]float64{},
+		done:     make(chan struct{}),
+	}
+}
+
+// Join registers a worker and hands it the run configuration. Speed is
+// the worker's self-reported speed factor — recorded for the stats and
+// the bench record; dynamic stealing already routes more work to faster
+// workers, so it does not influence leasing.
+func (c *Coordinator) Join(_ context.Context, worker string, speed float64) (RunInfo, error) {
+	if worker == "" {
+		return RunInfo{}, errors.New("coord: join with empty worker id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.workers[worker]; !ok {
+		c.stats.Joined++
+	}
+	c.workers[worker] = speed
+	return RunInfo{Suite: c.cfg.Suite, Timeout: c.cfg.Timeout, LeaseTTL: c.cfg.LeaseTTL}, nil
+}
+
+// Lease hands the worker the heaviest undispatched experiment, stamped
+// with a fresh epoch and a heartbeat deadline.
+func (c *Coordinator) Lease(_ context.Context, worker string) (Lease, LeaseState, error) {
+	if worker == "" {
+		return Lease{}, Wait, errors.New("coord: lease with empty worker id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.now()
+	c.reclaimLocked(now)
+
+	for len(c.pending) > 0 {
+		id := c.pending[0]
+		c.pending = c.pending[1:]
+		if _, ok := c.accepted[id]; ok {
+			continue // stale requeue of an already-accepted experiment
+		}
+		if _, ok := c.failed[id]; ok {
+			continue
+		}
+		c.attempts[id]++
+		c.leases[id] = &lease{worker: worker, epoch: c.attempts[id], expires: now.Add(c.cfg.LeaseTTL)}
+		c.stats.Leases++
+		return Lease{ID: id, Epoch: c.attempts[id]}, Granted, nil
+	}
+	if c.resolvedLocked() {
+		return Lease{}, Done, nil
+	}
+	return Lease{}, Wait, nil
+}
+
+// Heartbeat extends the lease's deadline. ErrLeaseLost means the
+// coordinator reclaimed it (or re-granted it under a newer epoch); the
+// worker may keep computing — Submit decides, first result wins — but
+// it can no longer keep the lease alive.
+func (c *Coordinator) Heartbeat(_ context.Context, worker string, l Lease) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.now()
+	c.reclaimLocked(now)
+	cur, ok := c.leases[l.ID]
+	if !ok || cur.epoch != l.Epoch || cur.worker != worker {
+		return ErrLeaseLost
+	}
+	cur.expires = now.Add(c.cfg.LeaseTTL)
+	return nil
+}
+
+// Submit delivers a result. Acceptance is at most once per experiment:
+// the first result for an id wins — whatever lease it rode in on — and
+// every later one is discarded as a duplicate (accepted=false, no
+// error). Results are deterministic functions of (seed, id), so which
+// copy wins cannot change the bytes. A canceled result is rejected
+// outright: it reflects the worker's own shutdown, not the experiment,
+// and accepting it would break byte-identity with a sequential run.
+func (c *Coordinator) Submit(_ context.Context, worker string, l Lease, res expt.Result) (bool, error) {
+	if res.ID != l.ID {
+		return false, fmt.Errorf("coord: submit result for %q under lease for %q", res.ID, l.ID)
+	}
+	if res.Status == expt.StatusCanceled {
+		return false, fmt.Errorf("coord: canceled result for %s rejected (worker shutdown is retried, not recorded)", res.ID)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked(c.cfg.now())
+	if _, dup := c.accepted[l.ID]; dup {
+		c.stats.Duplicates++
+		return false, nil
+	}
+	c.accepted[l.ID] = res
+	c.stats.Accepted++
+	// A late first result un-fails an experiment the reclaim path had
+	// given up on — strictly better than erroring the run.
+	delete(c.failed, l.ID)
+	delete(c.leases, l.ID)
+	if c.cfg.Sink != nil {
+		c.cfg.Sink(res)
+	}
+	if c.resolvedLocked() {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+	return true, nil
+}
+
+// reclaimLocked sweeps expired leases back into the queue (front —
+// they have waited longest) or, past the attempt bound, into the failed
+// set. Callers hold c.mu.
+func (c *Coordinator) reclaimLocked(now time.Time) {
+	var expired []string
+	for id, l := range c.leases {
+		if now.After(l.expires) {
+			expired = append(expired, id)
+		}
+	}
+	sort.Strings(expired) // map order must not leak into requeue order
+	for _, id := range expired {
+		l := c.leases[id]
+		delete(c.leases, id)
+		c.stats.Reclaimed++
+		if c.attempts[id] >= c.cfg.MaxAttempts {
+			c.failed[id] = fmt.Sprintf("lease expired %d times (last worker %s)", c.attempts[id], l.worker)
+			c.stats.Failed++
+		} else {
+			c.pending = append([]string{id}, c.pending...)
+		}
+	}
+	if c.resolvedLocked() {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+}
+
+// resolvedLocked reports whether every experiment has an accepted
+// result or a terminal failure. Callers hold c.mu.
+func (c *Coordinator) resolvedLocked() bool {
+	return len(c.accepted)+len(c.failed) == len(c.ids)
+}
+
+// Stats snapshots the counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Wait blocks until every experiment is resolved, then returns the
+// accepted results in canonical suite order — serialized with the
+// default expt.JSONOptions they are byte-identical to a sequential run
+// of the same suite and seed. It errors when any experiment exhausted
+// its attempts (listing the casualties) or ctx dies first. Wait's
+// ticker is what reclaims leases while every worker is dead, so a run
+// whose workers all vanish still terminates (bounded by MaxAttempts
+// sweeps of LeaseTTL each).
+func (c *Coordinator) Wait(ctx context.Context) ([]expt.Result, error) {
+	interval := c.cfg.LeaseTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.done:
+			return c.collect()
+		case <-tick.C:
+			c.mu.Lock()
+			c.reclaimLocked(c.cfg.now())
+			c.mu.Unlock()
+		case <-ctx.Done():
+			return nil, fmt.Errorf("coord: run abandoned: %w", ctx.Err())
+		}
+	}
+}
+
+func (c *Coordinator) collect() ([]expt.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.failed) > 0 {
+		ids := make([]string, 0, len(c.failed))
+		for id := range c.failed {
+			ids = append(ids, id)
+		}
+		expt.SortIDs(ids)
+		parts := make([]string, len(ids))
+		for i, id := range ids {
+			parts[i] = id + ": " + c.failed[id]
+		}
+		return nil, fmt.Errorf("coord: %d experiment(s) lost after retries: %s",
+			len(ids), strings.Join(parts, "; "))
+	}
+	out := make([]expt.Result, len(c.ids))
+	for i, id := range c.ids {
+		out[i] = c.accepted[id]
+	}
+	return out, nil
+}

@@ -1,0 +1,300 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hsp/internal/expt"
+)
+
+// registerTiny registers a trivially-passing experiment and returns its
+// cleanup. Tests use distinct id prefixes so parallel test functions
+// cannot collide in the shared registry.
+func registerTiny(t *testing.T, id string) {
+	t.Helper()
+	expt.Register(expt.Experiment{ID: id, Title: id, Claim: "tiny",
+		Run: func(s expt.Suite, _ context.Context) *expt.Table {
+			tab := &expt.Table{ID: id, Columns: []string{"seed"}}
+			tab.AddRow(s.Seed)
+			tab.CheckEq("ran", 1, 1)
+			return tab
+		}})
+	t.Cleanup(func() { expt.Unregister(id) })
+}
+
+func TestLeaseLPTOrderAndLifecycle(t *testing.T) {
+	for _, id := range []string{"ZLA", "ZLB", "ZLC"} {
+		registerTiny(t, id)
+	}
+	ctx := context.Background()
+	c := New(Config{
+		IDs:   []string{"ZLC", "ZLA", "ZLB"},
+		Costs: map[string]float64{"ZLA": 1, "ZLB": 9, "ZLC": 5},
+		Suite: expt.Suite{Quick: true, Seed: 7},
+	})
+	if _, err := c.Join(ctx, "w1", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Heaviest first: ZLB(9), ZLC(5), ZLA(1).
+	var got []string
+	for i := 0; i < 3; i++ {
+		l, state, err := c.Lease(ctx, "w1")
+		if err != nil || state != Granted {
+			t.Fatalf("lease %d: state=%v err=%v", i, state, err)
+		}
+		if l.Epoch != 1 {
+			t.Fatalf("fresh lease has epoch %d", l.Epoch)
+		}
+		got = append(got, l.ID)
+	}
+	if want := "ZLB,ZLC,ZLA"; strings.Join(got, ",") != want {
+		t.Fatalf("lease order %v, want %s", got, want)
+	}
+	// Everything is leased: the queue answers Wait, not Done.
+	if _, state, _ := c.Lease(ctx, "w2"); state != Wait {
+		t.Fatalf("state %v while leases in flight, want Wait", state)
+	}
+	for _, id := range []string{"ZLA", "ZLB", "ZLC"} {
+		ok, err := c.Submit(ctx, "w1", Lease{ID: id, Epoch: 1}, expt.Result{ID: id, Status: expt.StatusPass})
+		if err != nil || !ok {
+			t.Fatalf("submit %s: ok=%v err=%v", id, ok, err)
+		}
+	}
+	if _, state, _ := c.Lease(ctx, "w2"); state != Done {
+		t.Fatalf("state after full acceptance not Done")
+	}
+	results, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical suite order, not lease or acceptance order.
+	if len(results) != 3 || results[0].ID != "ZLA" || results[1].ID != "ZLB" || results[2].ID != "ZLC" {
+		t.Fatalf("results out of canonical order: %+v", results)
+	}
+}
+
+func TestLeaseExpiryReclaimsAndRetries(t *testing.T) {
+	registerTiny(t, "ZEX")
+	ctx := context.Background()
+	now := time.Unix(1000, 0)
+	c := New(Config{IDs: []string{"ZEX"}, LeaseTTL: time.Second, now: func() time.Time { return now }})
+	l, state, _ := c.Lease(ctx, "w1")
+	if state != Granted || l.Epoch != 1 {
+		t.Fatalf("grant: %v %+v", state, l)
+	}
+	// Heartbeats extend the deadline.
+	now = now.Add(900 * time.Millisecond)
+	if err := c.Heartbeat(ctx, "w1", l); err != nil {
+		t.Fatalf("live heartbeat rejected: %v", err)
+	}
+	now = now.Add(900 * time.Millisecond)
+	if _, state, _ := c.Lease(ctx, "w2"); state != Wait {
+		t.Fatalf("heartbeaten lease reclaimed early (state %v)", state)
+	}
+	// Silence past the TTL loses the lease to w2 with a bumped epoch.
+	now = now.Add(1100 * time.Millisecond)
+	l2, state, _ := c.Lease(ctx, "w2")
+	if state != Granted || l2.ID != "ZEX" || l2.Epoch != 2 {
+		t.Fatalf("reclaimed lease not re-granted: %v %+v", state, l2)
+	}
+	if err := c.Heartbeat(ctx, "w1", l); err != ErrLeaseLost {
+		t.Fatalf("zombie heartbeat error = %v, want ErrLeaseLost", err)
+	}
+	if s := c.Stats(); s.Reclaimed != 1 || s.Leases != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestAtMostOnceAcceptance(t *testing.T) {
+	registerTiny(t, "ZDUP")
+	ctx := context.Background()
+	var sunk []string
+	c := New(Config{IDs: []string{"ZDUP"}, Sink: func(r expt.Result) { sunk = append(sunk, r.ID) }})
+	l, _, _ := c.Lease(ctx, "w1")
+	res := expt.Result{ID: "ZDUP", Status: expt.StatusPass}
+	if ok, err := c.Submit(ctx, "w1", l, res); !ok || err != nil {
+		t.Fatalf("first submit: ok=%v err=%v", ok, err)
+	}
+	for _, w := range []string{"w1", "w2"} { // same worker or a zombie: both discarded
+		if ok, err := c.Submit(ctx, w, l, res); ok || err != nil {
+			t.Fatalf("duplicate from %s: ok=%v err=%v", w, ok, err)
+		}
+	}
+	if s := c.Stats(); s.Accepted != 1 || s.Duplicates != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if len(sunk) != 1 {
+		t.Fatalf("sink saw %d results, want exactly 1", len(sunk))
+	}
+}
+
+// A zombie whose lease was reclaimed still wins if its result lands
+// first: work done is work done, and determinism makes either copy
+// byte-identical — the loser is discarded, whoever it is.
+func TestZombieFirstResultWins(t *testing.T) {
+	registerTiny(t, "ZZOM")
+	ctx := context.Background()
+	now := time.Unix(2000, 0)
+	c := New(Config{IDs: []string{"ZZOM"}, LeaseTTL: time.Second, now: func() time.Time { return now }})
+	l1, _, _ := c.Lease(ctx, "w1")
+	now = now.Add(2 * time.Second)
+	l2, state, _ := c.Lease(ctx, "w2")
+	if state != Granted || l2.Epoch != 2 {
+		t.Fatalf("steal failed: %v %+v", state, l2)
+	}
+	res := expt.Result{ID: "ZZOM", Status: expt.StatusPass}
+	if ok, _ := c.Submit(ctx, "w1", l1, res); !ok {
+		t.Fatal("zombie's first result rejected")
+	}
+	if ok, _ := c.Submit(ctx, "w2", l2, res); ok {
+		t.Fatal("second result accepted twice")
+	}
+	results, err := c.Wait(ctx)
+	if err != nil || len(results) != 1 || results[0].ID != "ZZOM" {
+		t.Fatalf("wait: %v %+v", err, results)
+	}
+}
+
+func TestBoundedRetriesFailTheRun(t *testing.T) {
+	registerTiny(t, "ZRIP")
+	ctx := context.Background()
+	now := time.Unix(3000, 0)
+	c := New(Config{IDs: []string{"ZRIP"}, LeaseTTL: time.Second, MaxAttempts: 2,
+		now: func() time.Time { return now }})
+	for attempt := 1; attempt <= 2; attempt++ {
+		l, state, _ := c.Lease(ctx, "w1")
+		if state != Granted || l.Epoch != attempt {
+			t.Fatalf("attempt %d: %v %+v", attempt, state, l)
+		}
+		now = now.Add(2 * time.Second) // die silently
+	}
+	if _, state, _ := c.Lease(ctx, "w1"); state != Done {
+		t.Fatalf("exhausted experiment still leasable (state %v)", state)
+	}
+	_, err := c.Wait(ctx)
+	if err == nil || !strings.Contains(err.Error(), "ZRIP") || !strings.Contains(err.Error(), "lost after retries") {
+		t.Fatalf("wait error = %v, want terminal-failure listing ZRIP", err)
+	}
+	if s := c.Stats(); s.Failed != 1 || s.Reclaimed != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSubmitRejectsCanceledAndMismatch(t *testing.T) {
+	registerTiny(t, "ZCXL")
+	ctx := context.Background()
+	c := New(Config{IDs: []string{"ZCXL"}})
+	l, _, _ := c.Lease(ctx, "w1")
+	if _, err := c.Submit(ctx, "w1", l, expt.Result{ID: "ZCXL", Status: expt.StatusCanceled}); err == nil {
+		t.Fatal("canceled result accepted")
+	}
+	if _, err := c.Submit(ctx, "w1", l, expt.Result{ID: "OTHER", Status: expt.StatusPass}); err == nil {
+		t.Fatal("mismatched result id accepted")
+	}
+}
+
+// In-process workers over the Client interface: the assembled results
+// must match a plain sequential Runner run, and a worker killed by
+// fault injection must only cost a retry, never an experiment.
+func TestWorkersDrainQueueWithKill(t *testing.T) {
+	ids := make([]string, 6)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("ZWK%d", i+1)
+		registerTiny(t, ids[i])
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := New(Config{IDs: ids, Suite: expt.Suite{Quick: true, Seed: 7}, LeaseTTL: 120 * time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		w := &Worker{ID: fmt.Sprintf("w%d", i), Client: c, PollInterval: 10 * time.Millisecond}
+		if i == 1 {
+			// w1 dies holding its second result — an unsubmitted result
+			// plus an expired lease, the full reclaim/retry path.
+			w.Faults.KillWorker = func(_ string, completed int) bool { return completed >= 1 }
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx) //nolint:errcheck // ErrKilled is the point
+		}()
+	}
+	results, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(results) != len(ids) {
+		t.Fatalf("%d results for %d ids", len(results), len(ids))
+	}
+	for i, res := range results {
+		if res.ID != ids[i] || res.Status != expt.StatusPass {
+			t.Fatalf("result %d: %+v", i, res)
+		}
+	}
+}
+
+// TestCoordinatorNoGoroutineLeak mirrors the runner's leak check: an
+// in-flight counter inside the experiments must read zero once Wait and
+// every worker have returned, and the process goroutine count must
+// settle back to its baseline — heartbeat goroutines, worker loops and
+// Wait's ticker all join, nothing is abandoned.
+func TestCoordinatorNoGoroutineLeak(t *testing.T) {
+	var inFlight atomic.Int32
+	ids := make([]string, 4)
+	for i := range ids {
+		id := fmt.Sprintf("ZLK%d", i+1)
+		ids[i] = id
+		expt.Register(expt.Experiment{ID: id, Title: id,
+			Run: func(expt.Suite, context.Context) *expt.Table {
+				inFlight.Add(1)
+				defer inFlight.Add(-1)
+				time.Sleep(5 * time.Millisecond)
+				return &expt.Table{ID: id}
+			}})
+		t.Cleanup(func() { expt.Unregister(id) })
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := New(Config{IDs: ids, LeaseTTL: 100 * time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		w := &Worker{ID: fmt.Sprintf("w%d", i), Client: c, PollInterval: 10 * time.Millisecond}
+		if i == 1 {
+			w.Faults.KillWorker = func(_ string, completed int) bool { return completed >= 1 }
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx) //nolint:errcheck
+		}()
+	}
+	if _, err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if got := inFlight.Load(); got != 0 {
+		t.Fatalf("%d experiments still in flight after Wait and workers returned", got)
+	}
+	// The goroutine count settles asynchronously (exiting goroutines
+	// deschedule after their work is observable); poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,96 @@
+package coord
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Schedule is a seeded, randomized fault plan for a set of workers:
+// which workers die and when, who drops lease acks, who delays
+// heartbeats past the TTL, who double-submits. The same seed always
+// produces the same plan, so a chaos failure reproduces from its seed
+// alone. The LAST worker in the list is always immortal and fault-free
+// — every schedule can drain the queue, so a chaos run terminates
+// without depending on retry luck.
+type Schedule struct {
+	seed    int64
+	ttl     time.Duration
+	killAt  map[string]int // worker -> die before submitting result #k
+	dropP   map[string]float64
+	dupP    map[string]float64
+	delayP  map[string]float64
+	mu      sync.Mutex
+	rng     *rand.Rand
+	summary string
+}
+
+// Chaos draws a fault schedule for the named workers with the given
+// seed. ttl is the coordinator's lease TTL — injected heartbeat delays
+// straddle it so some runs reclaim a live worker's lease (the zombie
+// path) and some merely wobble.
+func Chaos(seed int64, workers []string, ttl time.Duration) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{
+		seed:   seed,
+		ttl:    ttl,
+		killAt: map[string]int{},
+		dropP:  map[string]float64{},
+		dupP:   map[string]float64{},
+		delayP: map[string]float64{},
+		rng:    rand.New(rand.NewSource(seed ^ 0x5ca1ab1e)),
+	}
+	desc := ""
+	for i, w := range workers {
+		if i == len(workers)-1 {
+			break // the immortal worker
+		}
+		if rng.Intn(2) == 0 {
+			s.killAt[w] = rng.Intn(3)
+			desc += fmt.Sprintf(" kill(%s@%d)", w, s.killAt[w])
+		}
+		s.dropP[w] = []float64{0, 0.2, 0.4}[rng.Intn(3)]
+		s.dupP[w] = []float64{0, 0.3, 0.6}[rng.Intn(3)]
+		s.delayP[w] = []float64{0, 0.25, 0.5}[rng.Intn(3)]
+	}
+	s.summary = fmt.Sprintf("seed=%d%s", seed, desc)
+	return s
+}
+
+// String describes the schedule for failure messages.
+func (s *Schedule) String() string { return s.summary }
+
+func (s *Schedule) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64() < p
+}
+
+// Faults materializes the schedule as a Worker's fault hooks.
+func (s *Schedule) Faults() Faults {
+	return Faults{
+		DropLeaseAck: func(worker, _ string) bool {
+			return s.chance(s.dropP[worker])
+		},
+		HeartbeatDelay: func(worker, _ string) time.Duration {
+			if !s.chance(s.delayP[worker]) {
+				return 0
+			}
+			s.mu.Lock()
+			frac := 0.5 + 1.5*s.rng.Float64() // 0.5×..2× TTL: some beats late, some fatal
+			s.mu.Unlock()
+			return time.Duration(frac * float64(s.ttl))
+		},
+		DuplicateResult: func(worker, _ string) bool {
+			return s.chance(s.dupP[worker])
+		},
+		KillWorker: func(worker string, completed int) bool {
+			at, ok := s.killAt[worker]
+			return ok && completed >= at
+		},
+	}
+}

@@ -1,0 +1,262 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"hsp/internal/expt"
+)
+
+// The wire schema mirrors internal/serve's idioms: POST-only JSON
+// endpoints, a hard body cap, malformed input answered 400 without
+// touching coordinator state, and deterministic status mapping — a
+// lost lease is 410 Gone so a zombie's heartbeat can tell "reclaimed"
+// from a transport fault.
+
+// maxBody bounds request bodies. A submit carries one experiment's
+// full result table; the largest pack tables are a few KiB.
+const maxBody = 8 << 20
+
+type joinRequest struct {
+	Worker string  `json:"worker"`
+	Speed  float64 `json:"speed,omitempty"`
+}
+
+type joinResponse struct {
+	Quick      bool  `json:"quick"`
+	Seed       int64 `json:"seed"`
+	TimeoutMS  int64 `json:"timeout_ms"`
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseResponse struct {
+	State string `json:"state"` // granted | wait | done
+	ID    string `json:"id,omitempty"`
+	Epoch int    `json:"epoch,omitempty"`
+}
+
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+	ID     string `json:"id"`
+	Epoch  int    `json:"epoch"`
+}
+
+type submitRequest struct {
+	Worker string `json:"worker"`
+	ID     string `json:"id"`
+	Epoch  int    `json:"epoch"`
+	// Result is the full record; DurationMS rides separately because
+	// the stable Result serialization zeroes the volatile fields —
+	// the coordinator restores it so the bench record carries real
+	// per-experiment wall times.
+	Result     expt.Result `json:"result"`
+	DurationMS float64     `json:"duration_ms"`
+}
+
+type submitResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+// Handler serves a Coordinator over HTTP:
+//
+//	POST /v1/join       {worker, speed}            -> run configuration
+//	POST /v1/lease      {worker}                   -> {state, id, epoch}
+//	POST /v1/heartbeat  {worker, id, epoch}        -> 204, or 410 Gone
+//	POST /v1/submit     {worker, id, epoch, result, duration_ms} -> {accepted}
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/join", func(w http.ResponseWriter, r *http.Request) {
+		var req joinRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		info, err := c.Join(r.Context(), req.Worker, req.Speed)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, joinResponse{
+			Quick:      info.Suite.Quick,
+			Seed:       info.Suite.Seed,
+			TimeoutMS:  info.Timeout.Milliseconds(),
+			LeaseTTLMS: info.LeaseTTL.Milliseconds(),
+		})
+	})
+	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		l, state, err := c.Lease(r.Context(), req.Worker)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, leaseResponse{State: state.String(), ID: l.ID, Epoch: l.Epoch})
+	})
+	mux.HandleFunc("/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req heartbeatRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		err := c.Heartbeat(r.Context(), req.Worker, Lease{ID: req.ID, Epoch: req.Epoch})
+		switch {
+		case errors.Is(err, ErrLeaseLost):
+			http.Error(w, err.Error(), http.StatusGone)
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+	mux.HandleFunc("/v1/submit", func(w http.ResponseWriter, r *http.Request) {
+		var req submitRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		res := req.Result
+		res.SetDuration(time.Duration(req.DurationMS * float64(time.Millisecond)))
+		accepted, err := c.Submit(r.Context(), req.Worker, Lease{ID: req.ID, Epoch: req.Epoch}, res)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, submitResponse{Accepted: accepted})
+	})
+	return mux
+}
+
+// decode enforces POST + the body cap and answers malformed JSON with
+// 400. It reports whether the request survived.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if len(body) > maxBody {
+		http.Error(w, "body exceeds cap", http.StatusRequestEntityTooLarge)
+		return false
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// HTTPClient drives a remote Coordinator through Handler's endpoints.
+// The zero HTTP client gets a sane default timeout well above any
+// heartbeat cadence.
+type HTTPClient struct {
+	// Base is the coordinator's base URL, e.g. "http://10.0.0.7:7077".
+	Base string
+	// HTTP is the underlying client; nil uses a 30s-timeout default.
+	HTTP *http.Client
+}
+
+func (hc *HTTPClient) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, hc.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := hc.HTTP
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, fmt.Errorf("coord: %s: %s: %s", path, resp.Status, bytes.TrimSpace(data))
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("coord: %s: bad response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Join implements Client.
+func (hc *HTTPClient) Join(ctx context.Context, worker string, speed float64) (RunInfo, error) {
+	var out joinResponse
+	if _, err := hc.post(ctx, "/v1/join", joinRequest{Worker: worker, Speed: speed}, &out); err != nil {
+		return RunInfo{}, err
+	}
+	return RunInfo{
+		Suite:    expt.Suite{Quick: out.Quick, Seed: out.Seed},
+		Timeout:  time.Duration(out.TimeoutMS) * time.Millisecond,
+		LeaseTTL: time.Duration(out.LeaseTTLMS) * time.Millisecond,
+	}, nil
+}
+
+// Lease implements Client.
+func (hc *HTTPClient) Lease(ctx context.Context, worker string) (Lease, LeaseState, error) {
+	var out leaseResponse
+	if _, err := hc.post(ctx, "/v1/lease", leaseRequest{Worker: worker}, &out); err != nil {
+		return Lease{}, Wait, err
+	}
+	switch out.State {
+	case "granted":
+		return Lease{ID: out.ID, Epoch: out.Epoch}, Granted, nil
+	case "done":
+		return Lease{}, Done, nil
+	case "wait":
+		return Lease{}, Wait, nil
+	}
+	return Lease{}, Wait, fmt.Errorf("coord: unknown lease state %q", out.State)
+}
+
+// Heartbeat implements Client; a 410 maps back to ErrLeaseLost.
+func (hc *HTTPClient) Heartbeat(ctx context.Context, worker string, l Lease) error {
+	status, err := hc.post(ctx, "/v1/heartbeat", heartbeatRequest{Worker: worker, ID: l.ID, Epoch: l.Epoch}, nil)
+	if status == http.StatusGone {
+		return ErrLeaseLost
+	}
+	return err
+}
+
+// Submit implements Client.
+func (hc *HTTPClient) Submit(ctx context.Context, worker string, l Lease, res expt.Result) (bool, error) {
+	var out submitResponse
+	req := submitRequest{
+		Worker: worker, ID: l.ID, Epoch: l.Epoch,
+		Result:     res,
+		DurationMS: float64(res.Duration().Nanoseconds()) / 1e6,
+	}
+	if _, err := hc.post(ctx, "/v1/submit", req, &out); err != nil {
+		return false, err
+	}
+	return out.Accepted, nil
+}

@@ -1,0 +1,110 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hsp/internal/expt"
+)
+
+// TestHTTPWorkersByteIdentity runs the full wire path: a Coordinator
+// behind Handler, workers driving it through HTTPClient, one worker
+// killed mid-run. The assembled output must still match the sequential
+// bytes, and the restored per-experiment durations must survive the
+// round trip.
+func TestHTTPWorkersByteIdentity(t *testing.T) {
+	ids := make([]string, 5)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("ZHT%d", i+1)
+		registerTiny(t, ids[i])
+	}
+	suite := expt.Suite{Quick: true, Seed: 7}
+	want := sequentialBytes(t, ids, suite)
+
+	c := New(Config{IDs: ids, Suite: suite, LeaseTTL: 150 * time.Millisecond})
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		w := &Worker{
+			ID:           fmt.Sprintf("w%d", i),
+			Client:       &HTTPClient{Base: srv.URL},
+			PollInterval: 10 * time.Millisecond,
+		}
+		if i == 2 {
+			w.Faults.KillWorker = func(_ string, completed int) bool { return completed >= 1 }
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx) //nolint:errcheck
+		}()
+	}
+	results, err := c.Wait(ctx)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stableBytes(t, results); !bytes.Equal(got, want) {
+		t.Fatalf("HTTP-coordinated output diverges from sequential:\n got %q\nwant %q", got, want)
+	}
+	for _, res := range results {
+		if res.Duration() <= 0 {
+			t.Errorf("%s: duration lost over the wire (%v)", res.ID, res.Duration())
+		}
+	}
+}
+
+// TestHandlerRejectsMalformedRequests pins the serve-layer idioms:
+// POST-only, body cap, 400 on bad JSON, 410 for a lost lease.
+func TestHandlerRejectsMalformedRequests(t *testing.T) {
+	registerTiny(t, "ZHR1")
+	c := New(Config{IDs: []string{"ZHR1"}})
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	get, err := http.Get(srv.URL + "/v1/lease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/lease = %d, want 405", get.StatusCode)
+	}
+
+	bad, err := http.Post(srv.URL+"/v1/lease", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON = %d, want 400", bad.StatusCode)
+	}
+
+	huge, err := http.Post(srv.URL+"/v1/lease", "application/json",
+		strings.NewReader(`{"worker":"`+strings.Repeat("x", maxBody+2)+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge.Body.Close()
+	if huge.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d, want 413", huge.StatusCode)
+	}
+
+	// A heartbeat for a lease nobody holds is 410 Gone, and HTTPClient
+	// maps it back to ErrLeaseLost.
+	hc := &HTTPClient{Base: srv.URL}
+	if err := hc.Heartbeat(context.Background(), "w9", Lease{ID: "ZHR1", Epoch: 3}); err != ErrLeaseLost {
+		t.Errorf("stale heartbeat over HTTP = %v, want ErrLeaseLost", err)
+	}
+}

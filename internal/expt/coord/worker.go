@@ -1,0 +1,179 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"hsp/internal/expt"
+)
+
+// Client is the coordinator surface a worker drives. *Coordinator
+// implements it directly for in-process workers; HTTPClient implements
+// it over the wire. Every method takes the worker's id so the
+// coordinator can fence leases per worker.
+type Client interface {
+	Join(ctx context.Context, worker string, speed float64) (RunInfo, error)
+	Lease(ctx context.Context, worker string) (Lease, LeaseState, error)
+	Heartbeat(ctx context.Context, worker string, l Lease) error
+	Submit(ctx context.Context, worker string, l Lease, res expt.Result) (bool, error)
+}
+
+// Faults is the fault-injection seam the chaos tests drive. Every hook
+// is optional (nil injects nothing) and may be called concurrently from
+// the worker's heartbeat goroutine; hooks must be safe for that.
+type Faults struct {
+	// DropLeaseAck simulates the grant reply getting lost: the
+	// coordinator recorded the lease but the worker never acts on it,
+	// so the lease expires unheartbeaten and is reclaimed and retried.
+	DropLeaseAck func(worker, id string) bool
+	// HeartbeatDelay delays the next heartbeat by the returned
+	// duration. A delay past the lease TTL forces a reclaim while the
+	// worker is still computing — the zombie path.
+	HeartbeatDelay func(worker, id string) time.Duration
+	// DuplicateResult makes the worker submit its result a second time;
+	// at-most-once acceptance must discard the copy.
+	DuplicateResult func(worker, id string) bool
+	// KillWorker is consulted after an experiment runs but BEFORE its
+	// result is submitted; completed counts results already submitted.
+	// Returning true kills the worker on the spot — the finished result
+	// dies with it and the lease expires into a retry.
+	KillWorker func(worker string, completed int) bool
+}
+
+// ErrKilled is what Worker.Run returns when Faults.KillWorker fired:
+// the simulated death of the worker process.
+var ErrKilled = errors.New("coord: worker killed by fault injection")
+
+// Worker leases experiments from a Coordinator until the run is done,
+// heartbeating each lease from a side goroutine while the experiment
+// runs on the worker itself. One experiment is in flight at a time —
+// trial-level parallelism inside the experiment (forEachTrial) is what
+// fills the host's cores.
+type Worker struct {
+	// ID names the worker in leases and stats. Required.
+	ID string
+	// Client is the coordinator connection. Required.
+	Client Client
+	// Speed is the self-reported speed factor passed to Join (0 = 1).
+	Speed float64
+	// PollInterval is the backoff between Lease calls while the
+	// coordinator answers Wait. Default: 100ms.
+	PollInterval time.Duration
+	// Faults injects failures for the chaos tests; the zero value is a
+	// healthy worker.
+	Faults Faults
+}
+
+// Run works the queue until the coordinator reports Done (nil), the
+// context dies, a transport call fails, or an injected fault kills the
+// worker (ErrKilled). Results with StatusCanceled — the worker's own
+// shutdown observed mid-experiment — are never submitted: the lease is
+// left to expire so another worker retries the experiment.
+func (w *Worker) Run(ctx context.Context) error {
+	speed := w.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	info, err := w.Client.Join(ctx, w.ID, speed)
+	if err != nil {
+		return err
+	}
+	poll := w.PollInterval
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	hb := info.LeaseTTL / 3
+	if hb < 5*time.Millisecond {
+		hb = 5 * time.Millisecond
+	}
+	r := expt.Runner{Suite: info.Suite, Workers: 1, Timeout: info.Timeout}
+
+	completed := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l, state, err := w.Client.Lease(ctx, w.ID)
+		if err != nil {
+			return err
+		}
+		switch state {
+		case Done:
+			return nil
+		case Wait:
+			select {
+			case <-time.After(poll):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		if w.Faults.DropLeaseAck != nil && w.Faults.DropLeaseAck(w.ID, l.ID) {
+			continue // the grant "never arrived"; it expires and is retried
+		}
+		res, err := w.runLeased(ctx, r, l, hb)
+		if err != nil {
+			return err
+		}
+		if res.Status == expt.StatusCanceled {
+			return ctx.Err()
+		}
+		if w.Faults.KillWorker != nil && w.Faults.KillWorker(w.ID, completed) {
+			return ErrKilled
+		}
+		if _, err := w.Client.Submit(ctx, w.ID, l, res); err != nil {
+			return err
+		}
+		completed++
+		if w.Faults.DuplicateResult != nil && w.Faults.DuplicateResult(w.ID, l.ID) {
+			// The zombie double-send: acceptance already happened, so the
+			// coordinator must discard this copy. Errors are the zombie's
+			// problem, not the run's.
+			w.Client.Submit(ctx, w.ID, l, res) //nolint:errcheck
+		}
+	}
+}
+
+// runLeased executes the leased experiment while a side goroutine
+// heartbeats the lease. The goroutine is always joined before
+// runLeased returns — workers leak nothing.
+func (w *Worker) runLeased(ctx context.Context, r expt.Runner, l Lease, hb time.Duration) (expt.Result, error) {
+	stop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if w.Faults.HeartbeatDelay != nil {
+					if d := w.Faults.HeartbeatDelay(w.ID, l.ID); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-stop:
+							return
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+				// A lost lease is not fatal: the experiment keeps
+				// running and Submit decides — first result wins.
+				w.Client.Heartbeat(ctx, w.ID, l) //nolint:errcheck
+			}
+		}
+	}()
+	results, err := r.Run(ctx, []string{l.ID})
+	close(stop)
+	<-hbDone
+	if err != nil {
+		return expt.Result{}, err
+	}
+	return results[0], nil
+}

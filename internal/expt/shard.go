@@ -10,19 +10,52 @@ import "sort"
 // that plans the same (ids, n, costs) inputs — there is no coordination
 // channel between shard processes, the shared plan IS the coordination.
 //
-// When costs carries a positive cost for every id (per-experiment
-// durations_ms from a previous bench record, say), shards are balanced by
-// longest-processing-time-first: ids are taken heaviest first and each is
-// placed on the currently least-loaded shard, ties broken toward the
-// lowest shard index. Otherwise placement falls back to round-robin over
-// the ids in suite order. Either way each shard's ids come back in suite
-// order, the union of the shards is exactly the input set, and no id
-// appears twice.
-//
-// n < 1 is treated as 1; n larger than len(ids) yields empty shards.
+// Plan assumes homogeneous hosts: it is PlanSpeeds with every speed
+// factor 1. n < 1 is treated as 1; n larger than len(ids) yields empty
+// shards.
 func Plan(ids []string, n int, costs map[string]float64) [][]string {
 	if n < 1 {
 		n = 1
+	}
+	speeds := make([]float64, n)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	return PlanSpeeds(ids, speeds, costs)
+}
+
+// PlanSpeeds is Plan for heterogeneous hosts: speeds[k] is shard k's
+// relative speed factor (2 = twice as fast as a factor-1 host; values
+// <= 0 or NaN are treated as 1), and len(speeds) is the shard count.
+// Placement is longest-processing-time-first by expected *duration*:
+// ids are taken heaviest first and each is placed on the shard whose
+// finishing time (current load plus this cost, divided by the shard's
+// speed) is smallest, ties broken toward the lowest shard index. With
+// uniform speeds this is exactly classic LPT by load.
+//
+// The cost of an id missing from costs (a new experiment not yet in the
+// bench trajectory) or carrying a non-positive entry is imputed as the
+// median of the known positive costs, so one unknown experiment
+// perturbs the balance by a typical duration instead of discarding the
+// whole cost map. Only when no id has a positive cost does placement
+// fall back to round-robin over the ids in suite order. Either way each
+// shard's ids come back in suite order, the union of the shards is
+// exactly the input set, and no id appears twice.
+func PlanSpeeds(ids []string, speeds []float64, costs map[string]float64) [][]string {
+	n := len(speeds)
+	if n < 1 {
+		n = 1
+	}
+	norm := make([]float64, n)
+	uniform := true
+	for i := range norm {
+		norm[i] = 1
+		if i < len(speeds) && speeds[i] > 0 && !(speeds[i] != speeds[i]) {
+			norm[i] = speeds[i]
+		}
+		if norm[i] != norm[0] {
+			uniform = false
+		}
 	}
 	sorted := append([]string(nil), ids...)
 	SortIDs(sorted)
@@ -32,14 +65,11 @@ func Plan(ids []string, n int, costs map[string]float64) [][]string {
 		return shards
 	}
 
-	usable := len(sorted) > 0
-	for _, id := range sorted {
-		if c, ok := costs[id]; !ok || c <= 0 {
-			usable = false
-			break
-		}
-	}
-	if !usable {
+	eff := effectiveCosts(sorted, costs)
+	if eff == nil {
+		// No cost signal at all: round-robin over suite order. (Speeds
+		// are ignored here on purpose — without costs there is nothing
+		// meaningful to scale.)
 		for i, id := range sorted {
 			k := i % n
 			shards[k] = append(shards[k], id)
@@ -47,26 +77,68 @@ func Plan(ids []string, n int, costs map[string]float64) [][]string {
 		return shards
 	}
 
-	// LPT: heaviest first onto the least-loaded shard. The stable sort
-	// keeps equal-cost ids in suite order, so the plan is a pure function
-	// of its inputs.
+	// LPT: heaviest first onto the shard that would finish it earliest.
+	// The stable sort keeps equal-cost ids in suite order, so the plan is
+	// a pure function of its inputs. The uniform-speed path compares raw
+	// loads (not loads+cost) so it is bit-for-bit the historical Plan.
 	order := append([]string(nil), sorted...)
 	sort.SliceStable(order, func(i, j int) bool {
-		return costs[order[i]] > costs[order[j]]
+		return eff[order[i]] > eff[order[j]]
 	})
-	loads := make([]float64, n)
+	loads := make([]float64, n) // Σcost when uniform; completion time otherwise
 	for _, id := range order {
+		c := eff[id]
 		k := 0
-		for j := 1; j < n; j++ {
-			if loads[j] < loads[k] {
-				k = j
+		if uniform {
+			for j := 1; j < n; j++ {
+				if loads[j] < loads[k] {
+					k = j
+				}
 			}
+			loads[k] += c
+		} else {
+			best := loads[0] + c/norm[0]
+			for j := 1; j < n; j++ {
+				if f := loads[j] + c/norm[j]; f < best {
+					k, best = j, f
+				}
+			}
+			loads[k] = best
 		}
 		shards[k] = append(shards[k], id)
-		loads[k] += costs[id]
 	}
 	for _, s := range shards {
 		SortIDs(s)
 	}
 	return shards
+}
+
+// effectiveCosts completes a possibly-partial cost map: ids with a
+// positive recorded cost keep it, ids without one are imputed the median
+// of the known positive costs. Returns nil when no id has a positive
+// cost — the caller's signal to fall back to round-robin.
+func effectiveCosts(ids []string, costs map[string]float64) map[string]float64 {
+	var known []float64
+	for _, id := range ids {
+		if c := costs[id]; c > 0 {
+			known = append(known, c)
+		}
+	}
+	if len(known) == 0 {
+		return nil
+	}
+	sort.Float64s(known)
+	med := known[len(known)/2]
+	if len(known)%2 == 0 {
+		med = (known[len(known)/2-1] + known[len(known)/2]) / 2
+	}
+	eff := make(map[string]float64, len(ids))
+	for _, id := range ids {
+		if c := costs[id]; c > 0 {
+			eff[id] = c
+		} else {
+			eff[id] = med
+		}
+	}
+	return eff
 }
