@@ -111,11 +111,21 @@ SMOKE_OUT ?= out/hspd
 SMOKE_DURATION ?= 3s
 HSPD_DRIFT_FAIL ?= 25
 
+# The second run repeats the traffic with the content-addressed cache
+# enabled: the loadtest itself fails on a zero hit ratio (repeat-heavy
+# probes against an in-process cache must hit), and its summary lands
+# next to the uncached one in the artifact. The cached run appends under
+# its own trajectory key (…|cache=512), so the two latency profiles are
+# tracked separately.
 hspd-smoke:
 	@mkdir -p $(SMOKE_OUT)
 	$(GO) build -o $(SMOKE_OUT)/hspd ./cmd/hspd
 	$(SMOKE_OUT)/hspd -loadtest -duration $(SMOKE_DURATION) -concurrency 8 \
 		-summary $(SMOKE_OUT)/latency.json \
+		-bench-out BENCH_hspd.json -drift-fail $(HSPD_DRIFT_FAIL)
+	$(SMOKE_OUT)/hspd -loadtest -duration $(SMOKE_DURATION) -concurrency 8 \
+		-cache-entries 512 \
+		-summary $(SMOKE_OUT)/latency-cached.json \
 		-bench-out BENCH_hspd.json -drift-fail $(HSPD_DRIFT_FAIL)
 
 # Coverage-guided fuzzing smoke: a short budget per target on every CI
@@ -125,8 +135,10 @@ hspd-smoke:
 # feasibility on arbitrary LPs, and warm/cold T* equality plus verdict
 # monotonicity around T* for the relaxation's binary search — plus the
 # DAG-task wire format (decode/validate/canonical re-encode stability and
-# the compile certificate on every accepted input). Targets run one at a
-# time — go test allows a single -fuzz pattern per package.
+# the compile certificate on every accepted input) — plus the solve
+# cache's content address (canonical request encodings are injective and
+# agree with cache-key equality on arbitrary request pairs). Targets run
+# one at a time — go test allows a single -fuzz pattern per package.
 FUZZTIME ?= 10s
 
 fuzz-smoke:
@@ -134,6 +146,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzLPWarmObjective' -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz 'FuzzMinFeasibleT' -fuzztime $(FUZZTIME) ./internal/relax
 	$(GO) test -run '^$$' -fuzz 'FuzzDAGDecode' -fuzztime $(FUZZTIME) ./internal/dag
+	$(GO) test -run '^$$' -fuzz 'FuzzCacheKey' -fuzztime $(FUZZTIME) ./internal/serve
 
 # Distributed-execution smoke: one coordinator with three in-process
 # workers driving the real HTTP lease endpoints, worker 1 killed by

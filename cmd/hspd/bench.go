@@ -26,11 +26,17 @@ type loadDrift struct {
 }
 
 // summaryKey identifies comparable loadtest runs: same traffic mix
-// (seed and probe set), same offered concurrency and duration class.
-// Worker count and machine speed are recorded in the summary but kept
-// out of the key — they are what the trajectory is watching.
-func summaryKey(seed int64, concurrency int) string {
-	return fmt.Sprintf("hspd-loadtest|seed=%d|concurrency=%d", seed, concurrency)
+// (seed and probe set), same offered concurrency and duration class,
+// and the same cache configuration — a cached run's latency profile is
+// a different trajectory, not drift on the uncached one. Worker count
+// and machine speed are recorded in the summary but kept out of the
+// key — they are what the trajectory is watching.
+func summaryKey(seed int64, concurrency, cacheEntries int) string {
+	key := fmt.Sprintf("hspd-loadtest|seed=%d|concurrency=%d", seed, concurrency)
+	if cacheEntries > 0 {
+		key += fmt.Sprintf("|cache=%d", cacheEntries)
+	}
+	return key
 }
 
 // checkDrift fills sum.Drift against the last record with the same key

@@ -28,14 +28,14 @@ func record(t *testing.T, sum loadSummary) string {
 }
 
 func TestLastSummary(t *testing.T) {
-	key := summaryKey(7, 4)
+	key := summaryKey(7, 4, 0)
 	if got, err := lastSummary(filepath.Join(t.TempDir(), "absent.jsonl"), key); err != nil || got != nil {
 		t.Fatalf("missing file: got %+v, %v; want nil history", got, err)
 	}
 	path := writeTrajectory(t,
 		record(t, loadSummary{Key: key, Time: "t1", P99MS: 10}),
 		"{corrupt line",
-		record(t, loadSummary{Key: summaryKey(8, 4), Time: "t2", P99MS: 99}),
+		record(t, loadSummary{Key: summaryKey(8, 4, 0), Time: "t2", P99MS: 99}),
 		record(t, loadSummary{Key: key, Time: "t3", P99MS: 20}),
 	)
 	got, err := lastSummary(path, key)
@@ -48,7 +48,7 @@ func TestLastSummary(t *testing.T) {
 }
 
 func TestCheckDriftNoHistory(t *testing.T) {
-	sum := loadSummary{Key: summaryKey(1, 8), P99MS: 5, QPS: 100}
+	sum := loadSummary{Key: summaryKey(1, 8, 0), P99MS: 5, QPS: 100}
 	lines, err := checkDrift(filepath.Join(t.TempDir(), "absent.jsonl"), &sum, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +59,7 @@ func TestCheckDriftNoHistory(t *testing.T) {
 }
 
 func TestCheckDriftRatios(t *testing.T) {
-	key := summaryKey(1, 8)
+	key := summaryKey(1, 8, 0)
 	path := writeTrajectory(t, record(t, loadSummary{Key: key, Time: "prev", P99MS: 10, QPS: 200}))
 
 	// Within the gate: ratios reported, not regressed.

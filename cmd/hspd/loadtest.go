@@ -54,6 +54,23 @@ type loadSummary struct {
 	P90MS         float64 `json:"p90_ms"`
 	P99MS         float64 `json:"p99_ms"`
 	MaxMS         float64 `json:"max_ms"`
+	// Cold/warm split the successful answers by repetition: a probe's
+	// first success is cold (the daemon had to solve), every repeat is
+	// warm (with the content-addressed cache on, a hit). The traffic mix
+	// is repeat-heavy by construction — each client cycles the same probe
+	// set — so warm latency is what the cache is buying.
+	ColdP99MS float64 `json:"cold_p99_ms,omitempty"`
+	WarmP99MS float64 `json:"warm_p99_ms,omitempty"`
+	// Cache counters are this run's deltas from GET /statsz (zero when
+	// the daemon runs without a cache); CacheEntries echoes the
+	// configured capacity for in-process runs. HitRatio is
+	// (hits+collapsed)/(hits+misses+collapsed).
+	CacheEntries   int     `json:"cache_entries,omitempty"`
+	CacheHits      uint64  `json:"cache_hits,omitempty"`
+	CacheMisses    uint64  `json:"cache_misses,omitempty"`
+	CacheCollapsed uint64  `json:"cache_collapsed,omitempty"`
+	CacheEvictions uint64  `json:"cache_evictions,omitempty"`
+	HitRatio       float64 `json:"hit_ratio,omitempty"`
 	// Drift compares against the previous same-key record in the
 	// -bench-out trajectory; nil on the first record of a key.
 	Drift *loadDrift `json:"drift,omitempty"`
@@ -290,9 +307,14 @@ func runLoadtest(lc loadConfig, stdout, stderr io.Writer) error {
 		requests, ok, shed, failed, claims atomic.Uint64
 		mu                                 sync.Mutex
 		latencies                          []float64 // ms, successful answers only
+		latCold, latWarm                   []float64 // split by probe repetition
 		failLogOnce                        sync.Once
 	)
+	// okSeen[i] counts probe i's successful answers so far: the first
+	// success is the cold solve, repeats are the warm (cacheable) path.
+	okSeen := make([]atomic.Uint64, len(probes))
 	client := &http.Client{}
+	statsBefore := fetchStats(client, base)
 	deadline := time.Now().Add(lc.duration)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -301,7 +323,8 @@ func runLoadtest(lc loadConfig, stdout, stderr io.Writer) error {
 		go func(c int) {
 			defer wg.Done()
 			for k := 0; time.Now().Before(deadline); k++ {
-				p := probes[(c+k)%len(probes)]
+				pi := (c + k) % len(probes)
+				p := probes[pi]
 				requests.Add(1)
 				t0 := time.Now()
 				resp, err := client.Post(base+p.path, "application/json", bytes.NewReader(p.body))
@@ -320,9 +343,16 @@ func runLoadtest(lc loadConfig, stdout, stderr io.Writer) error {
 						failLogOnce.Do(func() { fmt.Fprintf(stderr, "loadtest: %s claim failed: %v\n", p.name, err) })
 						continue
 					}
+					warm := okSeen[pi].Add(1) > 1
 					ok.Add(1)
+					ms := float64(elapsed.Microseconds()) / 1000
 					mu.Lock()
-					latencies = append(latencies, float64(elapsed.Microseconds())/1000)
+					latencies = append(latencies, ms)
+					if warm {
+						latWarm = append(latWarm, ms)
+					} else {
+						latCold = append(latCold, ms)
+					}
 					mu.Unlock()
 				case http.StatusTooManyRequests:
 					// Deterministic shedding is the design working, not a
@@ -341,20 +371,17 @@ func runLoadtest(lc loadConfig, stdout, stderr io.Writer) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	statsAfter := fetchStats(client, base)
 
 	sort.Float64s(latencies)
-	pct := func(p float64) float64 {
-		if len(latencies) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i]
-	}
+	sort.Float64s(latCold)
+	sort.Float64s(latWarm)
+	pct := func(p float64) float64 { return pctOf(latencies, p) }
 	sum := loadSummary{
 		Schema:        1,
 		Time:          time.Now().UTC().Format(time.RFC3339Nano),
 		Kind:          "hspd-loadtest",
-		Key:           summaryKey(lc.seed, lc.concurrency),
+		Key:           summaryKey(lc.seed, lc.concurrency, lc.cfg.CacheEntries),
 		GoVersion:     runtime.Version(),
 		Seed:          lc.seed,
 		Concurrency:   lc.concurrency,
@@ -370,17 +397,35 @@ func runLoadtest(lc loadConfig, stdout, stderr io.Writer) error {
 		P50MS:         pct(0.50),
 		P90MS:         pct(0.90),
 		P99MS:         pct(0.99),
+		ColdP99MS:     pctOf(latCold, 0.99),
+		WarmP99MS:     pctOf(latWarm, 0.99),
 	}
 	if n := len(latencies); n > 0 {
 		sum.MaxMS = latencies[n-1]
+	}
+	if lc.url == "" {
+		sum.CacheEntries = lc.cfg.CacheEntries
+	}
+	if statsBefore != nil && statsAfter != nil {
+		sum.CacheHits = statsAfter.CacheHits - statsBefore.CacheHits
+		sum.CacheMisses = statsAfter.CacheMisses - statsBefore.CacheMisses
+		sum.CacheCollapsed = statsAfter.CacheCollapsed - statsBefore.CacheCollapsed
+		sum.CacheEvictions = statsAfter.CacheEvictions - statsBefore.CacheEvictions
+		if total := sum.CacheHits + sum.CacheMisses + sum.CacheCollapsed; total > 0 {
+			sum.HitRatio = float64(sum.CacheHits+sum.CacheCollapsed) / float64(total)
+		}
 	}
 
 	fmt.Fprintf(stdout, "hspd loadtest: %s, %d clients against %s\n", lc.duration, lc.concurrency, target)
 	fmt.Fprintf(stdout, "requests=%d ok=%d shed=%d failed=%d claim-failures=%d\n",
 		sum.Requests, sum.OK, sum.Shed, sum.Failed, sum.ClaimFailures)
 	fmt.Fprintf(stdout, "sustained QPS = %.1f\n", sum.QPS)
-	fmt.Fprintf(stdout, "latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
-		sum.P50MS, sum.P90MS, sum.P99MS, sum.MaxMS)
+	fmt.Fprintf(stdout, "latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f (cold p99=%.2f, warm p99=%.2f)\n",
+		sum.P50MS, sum.P90MS, sum.P99MS, sum.MaxMS, sum.ColdP99MS, sum.WarmP99MS)
+	if sum.CacheHits+sum.CacheMisses+sum.CacheCollapsed > 0 {
+		fmt.Fprintf(stdout, "cache: hits=%d misses=%d collapsed=%d evictions=%d hit-ratio=%.3f\n",
+			sum.CacheHits, sum.CacheMisses, sum.CacheCollapsed, sum.CacheEvictions, sum.HitRatio)
+	}
 
 	if lc.benchOut != "" {
 		// Compare against the previous same-key record before appending
@@ -415,10 +460,41 @@ func runLoadtest(lc loadConfig, stdout, stderr io.Writer) error {
 		return fmt.Errorf("loadtest: %d requests failed", sum.Failed)
 	case sum.ClaimFailures > 0:
 		return fmt.Errorf("loadtest: %d responses violated their claims", sum.ClaimFailures)
+	case lc.url == "" && lc.cfg.CacheEntries > 0 && sum.CacheHits+sum.CacheCollapsed == 0:
+		// The mix cycles a fixed probe set, so an enabled cache that never
+		// hit means the content addressing is broken, not that traffic was
+		// unlucky.
+		return fmt.Errorf("loadtest: cache enabled (%d entries) but produced no hits", lc.cfg.CacheEntries)
 	case sum.Drift != nil && sum.Drift.Regressed:
 		return fmt.Errorf("loadtest: latency/throughput regressed beyond the %.0fx drift gate", lc.driftFail)
 	}
 	return nil
+}
+
+// pctOf reads the p-quantile from an ascending-sorted latency slice.
+func pctOf(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// fetchStats reads the daemon's /statsz counters; nil when the endpoint
+// is unreachable (the summary then simply omits the cache fields).
+func fetchStats(client *http.Client, base string) *serve.Stats {
+	resp, err := client.Get(base + "/statsz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil
+	}
+	return &st
 }
 
 // appendSummary appends one JSONL record to the trajectory file.

@@ -49,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxTO    = fs.Duration("max-timeout", 0, "cap on every per-request deadline, default or client-supplied (0 = -timeout)")
 		retry    = fs.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
 		maxBatch = fs.Int("max-batch", 64, "max requests per /v1/batch task")
+		cacheEnt = fs.Int("cache-entries", 0, "content-addressed response cache capacity in entries (0 = caching disabled)")
+		cacheB   = fs.Int64("cache-bytes", 0, "cache total-bytes bound, keys+responses (0 = 64 MiB when -cache-entries > 0)")
 
 		loadtest = fs.Bool("loadtest", false, "run the synthetic-traffic harness instead of serving")
 		ltDur    = fs.Duration("duration", 3*time.Second, "loadtest: traffic duration")
@@ -70,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MaxTimeout:     *maxTO,
 		RetryAfter:     *retry,
 		MaxBatch:       *maxBatch,
+		CacheEntries:   *cacheEnt,
+		CacheBytes:     *cacheB,
 	}
 
 	if *loadtest {

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the content-addressed solve cache: admission sweeps and
+// retry-heavy clients re-send byte-identical requests, and the solvers
+// are deterministic, so a response computed once can be served again
+// without burning a single pivot or DFS node. Three pieces:
+//
+//   - CanonicalRequest: a canonical, injective byte encoding of every
+//     request field that can influence the response bytes (algo,
+//     instance document, memory spec, frame, node cap, want_schedule,
+//     and the timeout — see the note below). Every field is tagged and
+//     length-prefixed, so two requests share an encoding if and only if
+//     they would be answered identically.
+//   - CacheKey: the content address — the request's algo tag and
+//     canonical length held verbatim plus the SHA-256 of the canonical
+//     bytes. A collision between non-identical canonical requests
+//     therefore needs same algo, same length, AND a SHA-256 collision.
+//   - cache: a mutex-guarded LRU bounded by entry count and total
+//     bytes, with singleflight collapsing — of N concurrent identical
+//     requests, one leader solves while the rest wait on its result.
+//
+// Only successful responses are ever cached: a canceled, timed-out, or
+// failed solve says nothing reusable about the instance (and a timeout
+// is a property of the deadline, not the content). The timeout is part
+// of the key on purpose: success is deterministic given the other
+// fields, but a request that would time out cold must keep timing out
+// on a cached server — byte-identity includes the error paths.
+
+// CacheKey is the content address of a request: the algo tag and the
+// canonical encoding's length verbatim, plus the SHA-256 digest of the
+// canonical bytes. Comparable, so it keys maps directly.
+type CacheKey struct {
+	Algo string
+	Len  int
+	Sum  [32]byte
+}
+
+// KeyRequest canonically encodes the request and hashes it to its cache
+// key. The returned bytes are the canonical encoding itself (the fuzz
+// target pins its injectivity).
+func KeyRequest(req *Request) (CacheKey, []byte) {
+	canon := CanonicalRequest(nil, req)
+	return CacheKey{Algo: req.Algo, Len: len(canon), Sum: sha256.Sum256(canon)}, canon
+}
+
+// Canonical-encoding field tags. Every field is written in this fixed
+// order, tagged, with variable-length payloads length-prefixed, which
+// makes the encoding injective over the keyed field tuple: no
+// concatenation of one request's fields can equal another's unless the
+// fields themselves are equal.
+const (
+	canonVersion     = 0x01
+	canonTagAlgo     = 'a'
+	canonTagInstance = 'i'
+	canonTagTimeout  = 't'
+	canonTagMaxNodes = 'n'
+	canonTagFrame    = 'f'
+	canonTagSchedule = 's'
+	canonTagMemory   = 'm'
+)
+
+// CanonicalRequest appends the canonical byte encoding of every keyed
+// request field to dst and returns the extended slice.
+func CanonicalRequest(dst []byte, req *Request) []byte {
+	dst = append(dst, canonVersion)
+	dst = append(dst, canonTagAlgo)
+	dst = binary.AppendUvarint(dst, uint64(len(req.Algo)))
+	dst = append(dst, req.Algo...)
+	dst = append(dst, canonTagInstance)
+	dst = binary.AppendUvarint(dst, uint64(len(req.Instance)))
+	dst = append(dst, req.Instance...)
+	dst = append(dst, canonTagTimeout)
+	dst = binary.AppendVarint(dst, req.TimeoutMS)
+	dst = append(dst, canonTagMaxNodes)
+	dst = binary.AppendVarint(dst, int64(req.MaxNodes))
+	dst = append(dst, canonTagFrame)
+	dst = binary.AppendVarint(dst, req.Frame)
+	dst = append(dst, canonTagSchedule)
+	if req.WantSchedule {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = append(dst, canonTagMemory)
+	if req.Memory == nil {
+		return append(dst, 0)
+	}
+	m := req.Memory
+	dst = append(dst, 1)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Budget)))
+	for _, b := range m.Budget {
+		dst = binary.AppendVarint(dst, b)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Size)))
+	for _, row := range m.Size {
+		dst = binary.AppendUvarint(dst, uint64(len(row)))
+		for _, v := range row {
+			dst = binary.AppendVarint(dst, v)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.JobSize)))
+	for _, v := range m.JobSize {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Mu))
+}
+
+// flight is one in-progress solve that identical concurrent requests
+// collapse onto: the leader solves, settles resp (nil when it failed),
+// and closes done; followers wait on done under their own contexts.
+type flight struct {
+	done chan struct{}
+	resp *Response
+}
+
+// cacheEntry is one LRU-resident response. size is the accounting
+// charge: canonical-key bytes plus the response's JSON length, the two
+// buffers a hit actually stands in for.
+type cacheEntry struct {
+	key  CacheKey
+	resp *Response
+	size int64
+}
+
+// cache is the content-addressed response store. All LRU and flight
+// state lives under one mutex (operations are pointer shuffles; the
+// solves themselves happen outside it); the counters are atomics so
+// Stats never takes the lock.
+type cache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu      sync.Mutex
+	entries map[CacheKey]*list.Element // values are *cacheEntry
+	lru     *list.List                 // front = most recently used
+	bytes   int64
+	flights map[CacheKey]*flight
+
+	hits, misses, collapsed, evictions atomic.Uint64
+}
+
+func newCache(maxEntries int, maxBytes int64) *cache {
+	return &cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		entries:    make(map[CacheKey]*list.Element),
+		lru:        list.New(),
+		flights:    make(map[CacheKey]*flight),
+	}
+}
+
+// acquire resolves a key atomically into exactly one of three outcomes:
+// a cached response (hit), an in-progress flight to wait on, or
+// leadership of a new flight (the caller MUST settle it). The miss for
+// a leader is counted here so hits+misses+collapsed reconciles with the
+// number of requests that reached the cache.
+func (c *cache) acquire(key CacheKey) (resp *Response, fl *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e)
+		c.hits.Add(1)
+		return e.Value.(*cacheEntry).resp, nil, false
+	}
+	if fl, ok := c.flights[key]; ok {
+		return nil, fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.misses.Add(1)
+	return nil, fl, true
+}
+
+// settle publishes the leader's outcome (resp nil on failure) and
+// releases the flight so later requests go back through the LRU.
+func (c *cache) settle(key CacheKey, fl *flight, resp *Response) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	fl.resp = resp
+	close(fl.done)
+}
+
+// wait blocks a follower until the leader settles or the follower's own
+// context dies. It returns (resp, nil) on a collapsed hit, (nil, nil)
+// when the leader failed — the follower must solve for itself — and
+// (nil, ctx.Err()) when the follower's context ended first.
+func (c *cache) wait(ctx context.Context, fl *flight) (*Response, error) {
+	select {
+	case <-fl.done:
+		if fl.resp != nil {
+			c.collapsed.Add(1)
+			return fl.resp, nil
+		}
+		return nil, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// store inserts a successful response, charging len(canon) plus the
+// response's JSON length, then evicts from the LRU tail until both
+// bounds hold again. Entries that could never fit are not stored; a key
+// already present (two followers re-solving after a failed leader) is
+// refreshed in place.
+func (c *cache) store(key CacheKey, canon []byte, resp *Response) {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return // unmarshalable responses cannot be served twice anyway
+	}
+	size := int64(len(canon)) + int64(len(b))
+	if size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		ent := e.Value.(*cacheEntry)
+		c.bytes += size - ent.size
+		ent.resp, ent.size = resp, size
+		c.lru.MoveToFront(e)
+	} else {
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, resp: resp, size: size})
+		c.bytes += size
+	}
+	for (len(c.entries) > c.maxEntries || c.bytes > c.maxBytes) && c.lru.Len() > 0 {
+		tail := c.lru.Back()
+		ent := tail.Value.(*cacheEntry)
+		c.lru.Remove(tail)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.size
+		c.evictions.Add(1)
+	}
+}
+
+// gauges snapshots the instantaneous entry count and byte total.
+func (c *cache) gauges() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.bytes
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzCacheKey pins the property the whole cache stands on: the
+// canonical encoding is injective over the keyed field tuple. The fuzzer
+// decodes TWO requests from one byte stream and checks, in both
+// directions, that the requests are field-equivalent iff their canonical
+// encodings are byte-equal iff their cache keys are equal — plus the key
+// structure itself (the key embeds the canonical length and the algo tag
+// verbatim, so a cross-request collision needs same algo, same length,
+// AND a SHA-256 collision).
+
+// fuzzReader deterministically consumes a fuzz input; past the end it
+// yields zeros, so every prefix decodes to something.
+type fuzzReader struct {
+	data []byte
+	off  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.off >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *fuzzReader) chunk(n int) []byte {
+	out := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.byte())
+	}
+	return out
+}
+
+func (r *fuzzReader) i64() int64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(r.byte())
+	}
+	return int64(v)
+}
+
+// decodeFuzzRequest builds a Request from the stream: sometimes a real
+// algo, sometimes arbitrary bytes; instance documents of varying length
+// (valid JSON not required — the key is content-addressed, not
+// semantic); full-range integers; optional memory specs with arbitrary
+// float bits (NaN payloads included).
+func decodeFuzzRequest(r *fuzzReader) *Request {
+	algos := []string{AlgoLP, Algo2Approx, AlgoBest, AlgoExact, AlgoRT, AlgoMemory1, AlgoMemory2, AlgoDAG}
+	req := &Request{}
+	if mode := r.byte() % 4; mode == 3 {
+		req.Algo = string(r.chunk(int(r.byte() % 6)))
+	} else {
+		req.Algo = algos[int(r.byte())%len(algos)]
+	}
+	req.Instance = json.RawMessage(r.chunk(int(r.byte() % 32)))
+	req.TimeoutMS = r.i64()
+	req.MaxNodes = int(int32(r.i64()))
+	req.Frame = r.i64()
+	req.WantSchedule = r.byte()&1 == 1
+	if r.byte()&1 == 1 {
+		m := &MemorySpec{}
+		for i := int(r.byte() % 4); i > 0; i-- {
+			m.Budget = append(m.Budget, r.i64())
+		}
+		for i := int(r.byte() % 3); i > 0; i-- {
+			var row []int64
+			for j := int(r.byte() % 3); j > 0; j-- {
+				row = append(row, r.i64())
+			}
+			m.Size = append(m.Size, row)
+		}
+		for i := int(r.byte() % 3); i > 0; i-- {
+			m.JobSize = append(m.JobSize, math.Float64frombits(uint64(r.i64())))
+		}
+		m.Mu = math.Float64frombits(uint64(r.i64()))
+		req.Memory = m
+	}
+	return req
+}
+
+// requestsEquivalent is the spec-side equality the encoding must mirror:
+// field-by-field, floats by bit pattern (NaN-safe, matching how the
+// encoding serializes them).
+func requestsEquivalent(a, b *Request) bool {
+	if a.Algo != b.Algo || !bytes.Equal(a.Instance, b.Instance) ||
+		a.TimeoutMS != b.TimeoutMS || a.MaxNodes != b.MaxNodes ||
+		a.Frame != b.Frame || a.WantSchedule != b.WantSchedule {
+		return false
+	}
+	am, bm := a.Memory, b.Memory
+	if (am == nil) != (bm == nil) {
+		return false
+	}
+	if am == nil {
+		return true
+	}
+	if len(am.Budget) != len(bm.Budget) || len(am.Size) != len(bm.Size) || len(am.JobSize) != len(bm.JobSize) {
+		return false
+	}
+	for i := range am.Budget {
+		if am.Budget[i] != bm.Budget[i] {
+			return false
+		}
+	}
+	for i := range am.Size {
+		if len(am.Size[i]) != len(bm.Size[i]) {
+			return false
+		}
+		for j := range am.Size[i] {
+			if am.Size[i][j] != bm.Size[i][j] {
+				return false
+			}
+		}
+	}
+	for i := range am.JobSize {
+		if math.Float64bits(am.JobSize[i]) != math.Float64bits(bm.JobSize[i]) {
+			return false
+		}
+	}
+	return math.Float64bits(am.Mu) == math.Float64bits(bm.Mu)
+}
+
+func FuzzCacheKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 5, 'h', 'e', 'l', 'l', 'o'})
+	f.Add([]byte("3\x02algo\x10{\"m\":2,\"jobs\":[1,2]}randombytes"))
+	f.Add(bytes.Repeat([]byte{0xff}, 96)) // max-range integers, NaN floats
+	f.Add([]byte{1, 3, 8, '{', '}', 0, 0, 0, 0, 0, 0, 0, 1, 1, 3, 8, '{', '}', 0, 0, 0, 0, 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+		a := decodeFuzzRequest(r)
+		b := decodeFuzzRequest(r)
+
+		canonA := CanonicalRequest(nil, a)
+		canonB := CanonicalRequest(nil, b)
+		keyA, fromKeyA := KeyRequest(a)
+		keyB, _ := KeyRequest(b)
+
+		// Determinism and KeyRequest/CanonicalRequest agreement.
+		if !bytes.Equal(canonA, fromKeyA) {
+			t.Fatalf("KeyRequest and CanonicalRequest disagree:\n%x\n%x", fromKeyA, canonA)
+		}
+		if again := CanonicalRequest(nil, a); !bytes.Equal(canonA, again) {
+			t.Fatalf("canonical encoding is nondeterministic:\n%x\n%x", canonA, again)
+		}
+
+		// Key structure: length and algo tag embedded verbatim.
+		if keyA.Len != len(canonA) {
+			t.Fatalf("key.Len = %d, canonical encoding has %d bytes", keyA.Len, len(canonA))
+		}
+		if keyA.Algo != a.Algo {
+			t.Fatalf("key.Algo = %q, request algo %q", keyA.Algo, a.Algo)
+		}
+
+		// The chain: equivalent requests ⟺ equal encodings ⟺ equal keys.
+		eq := requestsEquivalent(a, b)
+		canonEq := bytes.Equal(canonA, canonB)
+		if eq != canonEq {
+			t.Fatalf("injectivity broken: equivalent=%v but canonical-equal=%v\nA %+v\nB %+v\ncanonA %x\ncanonB %x",
+				eq, canonEq, a, b, canonA, canonB)
+		}
+		if keyEq := keyA == keyB; keyEq != canonEq {
+			t.Fatalf("key drift: canonical-equal=%v but key-equal=%v\ncanonA %x\ncanonB %x",
+				canonEq, keyEq, canonA, canonB)
+		}
+	})
+}

@@ -36,6 +36,16 @@ type Config struct {
 	MaxBatch int
 	// MaxBody bounds the request body in bytes. Default: 8 MiB.
 	MaxBody int64
+	// CacheEntries enables the content-addressed response cache when
+	// positive: successful responses are stored under the SHA-256 of the
+	// request's canonical encoding (see cache.go) and identical requests
+	// are answered without solver work — concurrent identical requests
+	// collapse onto one solve. 0 disables caching entirely (today's
+	// behavior).
+	CacheEntries int
+	// CacheBytes bounds the cache's total bytes (canonical keys plus
+	// serialized responses). 0 = 64 MiB when the cache is enabled.
+	CacheBytes int64
 }
 
 // withDefaults resolves the documented defaults.
@@ -60,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBody <= 0 {
 		c.MaxBody = 8 << 20
+	}
+	if c.CacheEntries > 0 && c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
 	}
 	return c
 }
@@ -112,6 +125,17 @@ type Stats struct {
 	ExactProbes    uint64 `json:"exact_probes"`    // DFS feasibility probes
 	ExactVisited   uint64 `json:"exact_visited"`   // DFS nodes actually expanded
 	ExactCanonical uint64 `json:"exact_canonical"` // canonical-tree nodes (node-cap currency)
+
+	// Content-addressed cache counters (all zero with the cache off).
+	// Every request that reaches an enabled cache is exactly one of
+	// hit, miss, or collapsed, so the three reconcile with the request
+	// count; entries/bytes are instantaneous gauges.
+	CacheHits      uint64 `json:"cache_hits"`      // answered from the LRU
+	CacheMisses    uint64 `json:"cache_misses"`    // had to run the solver
+	CacheCollapsed uint64 `json:"cache_collapsed"` // waited on an identical in-flight solve
+	CacheEvictions uint64 `json:"cache_evictions"` // LRU entries pushed out by the bounds
+	CacheEntries   int    `json:"cache_entries"`   // entries resident right now
+	CacheBytes     int64  `json:"cache_bytes"`     // bytes resident right now
 }
 
 // Server owns the worker pool and the bounded admission queue. Create
@@ -119,6 +143,7 @@ type Stats struct {
 type Server struct {
 	cfg   Config
 	queue chan *task
+	cache *cache // nil when Config.CacheEntries == 0
 
 	mu      sync.RWMutex // guards stopped vs. queue close
 	stopped bool
@@ -138,6 +163,9 @@ type Server struct {
 // long-lived Workspaces, consuming one bounded queue.
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg.withDefaults(), run: Do}
+	if s.cfg.CacheEntries > 0 {
+		s.cache = newCache(s.cfg.CacheEntries, s.cfg.CacheBytes)
+	}
 	s.queue = make(chan *task, s.cfg.QueueDepth)
 	s.wg.Add(s.cfg.Workers)
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -166,6 +194,14 @@ func (s *Server) Close() {
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
+	var cacheStats Stats
+	if s.cache != nil {
+		cacheStats.CacheHits = s.cache.hits.Load()
+		cacheStats.CacheMisses = s.cache.misses.Load()
+		cacheStats.CacheCollapsed = s.cache.collapsed.Load()
+		cacheStats.CacheEvictions = s.cache.evictions.Load()
+		cacheStats.CacheEntries, cacheStats.CacheBytes = s.cache.gauges()
+	}
 	return Stats{
 		Workers:    s.cfg.Workers,
 		QueueDepth: s.cfg.QueueDepth,
@@ -186,6 +222,13 @@ func (s *Server) Stats() Stats {
 		ExactProbes:    s.exactProbes.Load(),
 		ExactVisited:   s.exactVisited.Load(),
 		ExactCanonical: s.exactCanonical.Load(),
+
+		CacheHits:      cacheStats.CacheHits,
+		CacheMisses:    cacheStats.CacheMisses,
+		CacheCollapsed: cacheStats.CacheCollapsed,
+		CacheEvictions: cacheStats.CacheEvictions,
+		CacheEntries:   cacheStats.CacheEntries,
+		CacheBytes:     cacheStats.CacheBytes,
 	}
 }
 
@@ -314,8 +357,15 @@ func (s *Server) serveOne(ctx context.Context, req *Request, ws *Workspaces) (Re
 		timeout = s.cfg.MaxTimeout
 	}
 	rctx, cancel := context.WithTimeout(ctx, timeout)
-	resp, err, panicked := s.runRecovered(rctx, req, ws)
-	cancel()
+	defer cancel()
+	if s.cache != nil {
+		return s.serveCached(rctx, req, ws)
+	}
+	return s.classify(s.runRecovered(rctx, req, ws))
+}
+
+// classify folds one outcome into the completion counters.
+func (s *Server) classify(resp *Response, err error, panicked bool) (Result, bool) {
 	switch {
 	case err == nil:
 		s.completed.Add(1)
@@ -325,6 +375,53 @@ func (s *Server) serveOne(ctx context.Context, req *Request, ws *Workspaces) (Re
 		s.failed.Add(1)
 	}
 	return Result{Resp: resp, Err: err}, panicked
+}
+
+// serveCached answers one request through the content-addressed cache:
+// hit → the stored response, byte for byte what the solve produced;
+// identical request already in flight → wait for its leader and collapse
+// onto the same response; otherwise lead the solve and publish the
+// result. Only successful responses are stored — a canceled, timed-out
+// or failed solve settles the flight with nil and is never cached, so
+// error paths behave exactly as they do uncached.
+func (s *Server) serveCached(rctx context.Context, req *Request, ws *Workspaces) (Result, bool) {
+	key, canon := KeyRequest(req)
+	if resp, fl, leader := s.cache.acquire(key); resp != nil {
+		s.completed.Add(1)
+		return Result{Resp: resp}, false
+	} else if !leader {
+		resp, err := s.cache.wait(rctx, fl)
+		if err != nil {
+			s.canceled.Add(1)
+			return Result{Err: fmt.Errorf("serve: canceled waiting on an identical in-flight solve: %w", err)}, false
+		}
+		if resp != nil {
+			s.completed.Add(1)
+			return Result{Resp: resp}, false
+		}
+		// The leader failed; its failure may have been its own deadline,
+		// so solve under ours instead of inheriting the error. Counted as
+		// a miss — this request does pay for a solve.
+		s.cache.misses.Add(1)
+		resp, err, panicked := s.runRecovered(rctx, req, ws)
+		if err == nil && resp != nil {
+			s.cache.store(key, canon, resp)
+		}
+		return s.classify(resp, err, panicked)
+	} else {
+		// Leader: store BEFORE settling so no window exists where the
+		// flight is gone but the entry is absent (a second solve could
+		// slip through it); settle unconditionally via defer so a
+		// recovered panic can never strand the followers.
+		var stored *Response
+		defer func() { s.cache.settle(key, fl, stored) }()
+		resp, err, panicked := s.runRecovered(rctx, req, ws)
+		if err == nil && resp != nil {
+			s.cache.store(key, canon, resp)
+			stored = resp
+		}
+		return s.classify(resp, err, panicked)
+	}
 }
 
 // runRecovered shields the worker pool from a panicking solver: one
